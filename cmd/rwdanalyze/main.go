@@ -1,0 +1,104 @@
+// Command rwdanalyze runs the SHARQL-style analysis pipeline over a
+// user-supplied corpus: a SPARQL log (one query per line), an XML corpus
+// (one document per line), a DTD corpus, a JSON Schema corpus, or an XPath
+// corpus — and prints the corresponding tables of the paper.
+//
+// Usage:
+//
+//	rwdgen -kind sparql -source WikiRobot/OK -n 5000 | rwdanalyze -kind sparql
+//	rwdanalyze -kind sparql -file queries.log
+//	rwdanalyze -kind xml -file corpus.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/jsonschema"
+	"repro/internal/schemastudy"
+	"repro/internal/xmllite"
+	"repro/internal/xpath"
+)
+
+func main() {
+	kind := flag.String("kind", "sparql", "corpus kind: sparql|xml|dtd|jsonschema|xpath")
+	file := flag.String("file", "-", "input file; '-' reads stdin")
+	name := flag.String("name", "corpus", "corpus name for the reports")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *file != "-" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	lines, err := readLines(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	switch *kind {
+	case "sparql":
+		a := core.NewAnalyzer(*name)
+		for _, q := range lines {
+			a.Ingest(q)
+		}
+		core.RenderAll(os.Stdout, []*core.SourceReport{a.Report})
+	case "xml":
+		res := xmllite.RunStudy(lines)
+		fmt.Printf("documents: %d; well-formed: %d (%.1f%%); top-3 error share: %.1f%%\n",
+			res.Total, res.WellFormed, 100*res.WellFormedRate(), 100*res.TopThreeRate)
+		for cat, n := range res.ByCategory {
+			fmt.Printf("  %-24s %d\n", cat.String(), n)
+		}
+	case "dtd":
+		rep := schemastudy.AnalyzeDTDs(lines)
+		fmt.Printf("DTDs: %d (parse errors %d); recursive: %d; depths: %s\n",
+			rep.Total, rep.ParseErrors, rep.Recursive, schemastudy.DescribeDepths(rep.MaxDepths))
+		fmt.Printf("expressions: %d; CHARE %.1f%%; SORE %.1f%%; deterministic %.1f%%\n",
+			rep.Expressions, 100*rep.CHARERate(), 100*rep.SORERate(),
+			100*float64(rep.Deterministic)/float64(max(rep.Expressions, 1)))
+	case "jsonschema":
+		rep := jsonschema.RunStudy(lines)
+		fmt.Printf("schemas: %d; recursive: %d; depths: %s; negation: %d; schema-full: %d\n",
+			rep.Total, rep.Recursive, schemastudy.DescribeDepths(rep.Depths),
+			rep.NegationUse, rep.SchemaFull)
+	case "xpath":
+		res := xpath.RunStudy(lines)
+		fmt.Printf("queries: %d (parse errors %d); median size %d; tree patterns %d (%.1f%%)\n",
+			res.Total, res.ParseErrors, res.SizeQuantile(0.5), res.TreePatterns,
+			100*float64(res.TreePatterns)/float64(max(res.Total, 1)))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+}
+
+func readLines(in io.Reader) ([]string, error) {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var out []string
+	for sc.Scan() {
+		line := sc.Text()
+		if line != "" {
+			out = append(out, line)
+		}
+	}
+	return out, sc.Err()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

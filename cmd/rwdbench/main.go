@@ -1,0 +1,164 @@
+// Command rwdbench regenerates the tables and figures of "Towards Theory
+// for Real-World Data" (Martens, PODS 2022) from synthetic corpora pushed
+// through the real analysis pipeline.
+//
+// Usage:
+//
+//	rwdbench -experiment all [-scale 10000] [-seed 1]
+//	rwdbench -experiment table1|table2|table3|table4|table5|table6|table7|table8
+//	rwdbench -experiment figure3|xmlquality|dtdcorpus|xsdtypes|jsonschema|xpath|rdfstats|welldesigned|tractability
+//
+// -scale is the corpus scale divisor for the log-derived experiments:
+// 1000 generates 1:1000 of the paper's 558M queries (≈ 558k), the default
+// 10000 generates ≈ 56k.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/edtd"
+	"repro/internal/jsonschema"
+	"repro/internal/rdf"
+	"repro/internal/schemastudy"
+	"repro/internal/xmllite"
+	"repro/internal/xpath"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "which table/figure to regenerate")
+	scale := flag.Int("scale", 10000, "corpus scale divisor for log experiments")
+	seed := flag.Int64("seed", 1, "generator seed")
+	graphScale := flag.Float64("graphscale", 0.2, "graph size factor for Table 1")
+	flag.Parse()
+
+	needLogs := map[string]bool{
+		"all": true, "table2": true, "table3": true, "table4": true,
+		"table5": true, "table6": true, "table7": true, "table8": true,
+		"figure3": true, "welldesigned": true, "tractability": true,
+	}
+	var reports []*core.SourceReport
+	if needLogs[*experiment] {
+		fmt.Fprintf(os.Stderr, "generating and analyzing log corpus at scale 1:%d …\n", *scale)
+		reports = core.RunLogStudy(*seed, *scale)
+	}
+	dbp, wiki := core.GroupReports(reports)
+
+	w := os.Stdout
+	run := func(name string, f func()) {
+		if *experiment == "all" || *experiment == name {
+			fmt.Fprintf(w, "\n==== %s ====\n", strings.ToUpper(name))
+			f()
+		}
+	}
+	run("table1", func() { core.RenderTable1(w, *seed, *graphScale) })
+	run("table2", func() { core.RenderTable2(w, reports) })
+	run("figure3", func() { core.RenderFigure3(w, reports) })
+	run("table3", func() { core.RenderTable3(w, dbp); fmt.Fprintln(w); core.RenderTable3(w, wiki) })
+	run("table4", func() { core.RenderOperatorSets(w, dbp, core.Table4Rows) })
+	run("table5", func() { core.RenderOperatorSets(w, wiki, core.Table5Rows) })
+	run("table6", func() { core.RenderTable6(w, dbp) })
+	run("table7", func() { core.RenderTable7(w, dbp) })
+	run("table8", func() { core.RenderTable8(w, wiki) })
+	run("welldesigned", func() { core.RenderSection94(w, dbp); core.RenderSection94(w, wiki) })
+	run("tractability", func() { core.RenderSection96(w, wiki) })
+	run("xmlquality", func() { runXMLQuality(*seed) })
+	run("dtdcorpus", func() { runDTDCorpus(*seed) })
+	run("xsdtypes", func() { runXSDTypes(*seed) })
+	run("jsonschema", func() { runJSONSchema(*seed) })
+	run("xpath", func() { runXPath(*seed) })
+	run("rdfstats", func() { runRDFStats(*seed) })
+}
+
+func runXMLQuality(seed int64) {
+	g := xmllite.DefaultCorpusGen()
+	r := rand.New(rand.NewSource(seed))
+	docs := make([]string, 10000)
+	for i := range docs {
+		docs[i] = g.Document(r)
+	}
+	res := xmllite.RunStudy(docs)
+	fmt.Printf("documents: %d\nwell-formed: %d (%.1f%%; paper: 85%%)\n",
+		res.Total, res.WellFormed, 100*res.WellFormedRate())
+	fmt.Printf("top-3 error categories cover %.1f%% of errors (paper: 79.9%%)\n", 100*res.TopThreeRate)
+	for cat, n := range res.ByCategory {
+		fmt.Printf("  %-24s %d\n", cat.String(), n)
+	}
+}
+
+func runDTDCorpus(seed int64) {
+	g := schemastudy.DefaultDTDGen()
+	r := rand.New(rand.NewSource(seed))
+	rep := schemastudy.AnalyzeDTDs(g.Corpus(r, 1000))
+	fmt.Printf("DTDs: %d; recursive: %d (%.1f%%; Choi: 35/60 = 58%%)\n",
+		rep.Total, rep.Recursive, 100*float64(rep.Recursive)/float64(rep.Total))
+	fmt.Printf("non-recursive max document depths: %s (Choi: up to 20)\n",
+		schemastudy.DescribeDepths(rep.MaxDepths))
+	fmt.Printf("expressions: %d; CHAREs: %.1f%% (paper: >92%%); SOREs: %.1f%% (paper: >99%%)\n",
+		rep.Expressions, 100*rep.CHARERate(), 100*rep.SORERate())
+	fmt.Printf("deterministic: %.1f%%; max parse depth: %d (Choi: 1..9); ANY uses: %d\n",
+		100*float64(rep.Deterministic)/float64(rep.Expressions), rep.MaxParseDepth, rep.ANYUses)
+}
+
+func runXSDTypes(seed int64) {
+	g := schemastudy.DefaultXSDGen()
+	r := rand.New(rand.NewSource(seed))
+	xs := make([]*edtd.EDTD, 30)
+	for i := range xs {
+		xs[i] = g.Schema(r)
+	}
+	rep := schemastudy.AnalyzeXSDs(xs)
+	fmt.Printf("XSDs: %d; structurally DTD-expressible: %d (Bex et al.: 25/30)\n", rep.Total, rep.DTDExpressible)
+	fmt.Printf("parent/grandparent-typed: %d; single-type: %d\n", rep.DependencyDepth12, rep.SingleType)
+}
+
+func runJSONSchema(seed int64) {
+	g := schemastudy.DefaultJSONSchemaGen()
+	r := rand.New(rand.NewSource(seed))
+	rep := jsonschema.RunStudy(g.Corpus(r, 1000))
+	fmt.Printf("schemas: %d; recursive: %d (Maiwald: 26/159)\n", rep.Total, rep.Recursive)
+	fmt.Printf("non-recursive depths: %s (paper: 3-43, avg 11)\n", schemastudy.DescribeDepths(rep.Depths))
+	fmt.Printf("negation: %d (%.1f%%; Baazizi: 2.6%%); schema-full: %d (Maiwald: 8/159)\n",
+		rep.NegationUse, 100*float64(rep.NegationUse)/float64(rep.Total), rep.SchemaFull)
+}
+
+func runXPath(seed int64) {
+	g := xpath.DefaultGen()
+	r := rand.New(rand.NewSource(seed))
+	res := xpath.RunStudy(g.Corpus(r, 20000))
+	fmt.Printf("queries: %d; median size: %d (Baelde: majority ≤ 13); max size: %d; power-law alpha: %.2f\n",
+		res.Total, res.SizeQuantile(0.5), res.SizeQuantile(1.0), res.PowerLawAlpha())
+	fmt.Printf("axis users (child %d, attribute %d, descendant-or-self %d, ancestor %d)\n",
+		res.AxisUse[xpath.AxisChild], res.AxisUse[xpath.AxisAttribute],
+		res.AxisUse[xpath.AxisDescendantOrSelf], res.AxisUse[xpath.AxisAncestor])
+	fmt.Printf("fragments: positive %.1f%%, core %.1f%%, downward %.1f%%, tree patterns %.1f%% (Pasqua: >90%%)\n",
+		pctOf(res.Positive, res.Total), pctOf(res.Core, res.Total),
+		pctOf(res.Downward, res.Total), pctOf(res.TreePatterns, res.Total))
+}
+
+func runRDFStats(seed int64) {
+	g := rdf.DefaultGen()
+	r := rand.New(rand.NewSource(seed))
+	st := rdf.ComputeStats(g.Graph(r, 20000))
+	fmt.Printf("triples: %d, subjects: %d, predicates: %d, objects: %d\n",
+		st.Triples, st.Subjects, st.Predicates, st.Objects)
+	fmt.Printf("in-degree: max %d, mean %.2f, alpha %.2f (power law; Bachlechner/Strang: max 7739 vs mean 9.56)\n",
+		st.InDegree.Max, st.InDegree.Mean, st.InDegree.Alpha)
+	fmt.Printf("predicate lists: %d distinct; %.1f%% of subjects share a common list (Fernandez: ≈99%%)\n",
+		st.PredicateLists, 100*st.SharedListSubjectRate)
+	fmt.Printf("objects per (s,p): %.3f (≈1); subjects per (p,o): %.2f ± %.2f (skewed)\n",
+		st.MeanObjectsPerSP, st.MeanSubjectsPerPO, st.StdDevSubjectsPerPO)
+	fmt.Printf("|P∩S|/|P∪S| = %.2g, |P∩O|/|P∪O| = %.2g (paper: 0 or 10⁻⁷..10⁻³)\n",
+		st.PSOverlap, st.POOverlap)
+}
+
+func pctOf(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
+}

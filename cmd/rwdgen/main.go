@@ -1,0 +1,89 @@
+// Command rwdgen emits synthetic corpora to stdout or a directory: SPARQL
+// query logs (one query per line, escaped), XML document corpora, DTD
+// corpora, JSON Schema corpora, and XPath corpora. These are the
+// substitutes for the gated real-world inputs of the paper's studies; feed
+// them back through rwdanalyze to reproduce the tables.
+//
+// Usage:
+//
+//	rwdgen -kind sparql -source DBpedia17 -n 1000 [-seed 1]
+//	rwdgen -kind xml -n 100
+//	rwdgen -kind dtd -n 20
+//	rwdgen -kind jsonschema -n 20
+//	rwdgen -kind xpath -n 100
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/loggen"
+	"repro/internal/schemastudy"
+	"repro/internal/xmllite"
+	"repro/internal/xpath"
+)
+
+func main() {
+	kind := flag.String("kind", "sparql", "corpus kind: sparql|xml|dtd|jsonschema|xpath")
+	source := flag.String("source", "WikiRobot/OK", "log source name for -kind sparql (see Table 2)")
+	n := flag.Int("n", 100, "number of items")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	r := rand.New(rand.NewSource(*seed))
+
+	switch *kind {
+	case "sparql":
+		var src *loggen.Source
+		for _, s := range loggen.Sources() {
+			if s.Name == *source {
+				tmp := s
+				src = &tmp
+				break
+			}
+		}
+		if src == nil {
+			var names []string
+			for _, s := range loggen.Sources() {
+				names = append(names, s.Name)
+			}
+			fmt.Fprintf(os.Stderr, "unknown source %q; available: %s\n", *source, strings.Join(names, ", "))
+			os.Exit(2)
+		}
+		g := loggen.NewGen(*src, *seed)
+		for i := 0; i < *n; i++ {
+			// one query per line: escape newlines
+			q := strings.ReplaceAll(g.Next(), "\n", " ")
+			fmt.Fprintln(w, q)
+		}
+	case "xml":
+		g := xmllite.DefaultCorpusGen()
+		for i := 0; i < *n; i++ {
+			fmt.Fprintln(w, strings.ReplaceAll(g.Document(r), "\n", " "))
+		}
+	case "dtd":
+		g := schemastudy.DefaultDTDGen()
+		for i := 0; i < *n; i++ {
+			fmt.Fprintln(w, strings.ReplaceAll(g.DTD(r), "\n", " "))
+		}
+	case "jsonschema":
+		g := schemastudy.DefaultJSONSchemaGen()
+		for i := 0; i < *n; i++ {
+			fmt.Fprintln(w, strings.ReplaceAll(g.Schema(r), "\n", " "))
+		}
+	case "xpath":
+		g := xpath.DefaultGen()
+		for i := 0; i < *n; i++ {
+			fmt.Fprintln(w, g.Query(r))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,75 @@
+// Quickstart: Figures 1 and 2 of the paper, end to end.
+//
+// It parses the Figure 1 XML and JSON documents into the node-labeled tree
+// abstraction, validates the tree against the Example 4.2 DTD and the
+// Example 4.11 EDTD, and demonstrates the Figure 2 equivalence between a
+// single-type EDTD and a BonXai-style pattern-based schema.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bonxai"
+	"repro/internal/dtd"
+	"repro/internal/edtd"
+	"repro/internal/jsonlite"
+	"repro/internal/regex"
+	"repro/internal/tree"
+	"repro/internal/xmllite"
+)
+
+func main() {
+	// --- Figure 1: XML and JSON → labeled trees -------------------------
+	el, perr := xmllite.Parse(xmllite.Figure1XML)
+	if perr != nil {
+		log.Fatal(perr)
+	}
+	xmlTree := el.AsTree()
+	fmt.Println("Figure 1a XML as tree:   ", xmlTree)
+
+	jsonTree := jsonlite.MustParse(jsonlite.Figure1JSON, jsonlite.Options{ItemLabel: "person"})
+	fmt.Println("Figure 1b JSON as tree:  ", jsonTree)
+	fmt.Printf("tree depth %d, size %d\n\n", xmlTree.Depth(), xmlTree.Size())
+
+	// --- Example 4.2: DTD validation ------------------------------------
+	d := dtd.New().
+		AddRule("persons", regex.MustParse("person*")).
+		AddRule("person", regex.MustParse("name birthplace")).
+		AddRule("birthplace", regex.MustParse("city state country?")).
+		AddStart("persons")
+	fmt.Print("Example 4.2 DTD:\n", d)
+	fmt.Println("Figure 1c valid w.r.t. DTD:", d.Validate(xmlTree) == nil)
+	bad := tree.MustParse("persons(person(name))")
+	fmt.Println("persons(person(name)) valid:", d.Validate(bad) == nil)
+	fmt.Println()
+
+	// --- Example 4.11: EDTD with two birthplace types -------------------
+	e := edtd.New().
+		AddType("persons", "persons", regex.MustParse("person*")).
+		AddType("person", "person", regex.MustParse("name (birthplace-US + birthplace-Intl)")).
+		AddType("name", "name", regex.NewEpsilon()).
+		AddType("birthplace-US", "birthplace", regex.MustParse("city state country?")).
+		AddType("birthplace-Intl", "birthplace", regex.MustParse("city state country")).
+		AddType("city", "city", regex.NewEpsilon()).
+		AddType("state", "state", regex.NewEpsilon()).
+		AddType("country", "country", regex.NewEpsilon()).
+		AddStart("persons")
+	fmt.Println("Figure 1c valid w.r.t. Example 4.11 EDTD:", e.Valid(xmlTree))
+	fmt.Println("EDTD is single-type (EDC):", e.IsSingleType())
+	for _, v := range e.EDCViolations() {
+		fmt.Println("  EDC violation:", v)
+	}
+	fmt.Println()
+
+	// --- Figure 2: stEDTD ≡ pattern-based schema ------------------------
+	schema := bonxai.Figure2b()
+	fmt.Print("Figure 2b pattern-based schema:\n", schema)
+	alphabet := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k"}
+	compiled := schema.ToEDTD(alphabet)
+	good := tree.MustParse("a(b(e, d(g, h(j), i), f))")
+	crossed := tree.MustParse("a(b(e, d(g, h(k), i), f))")
+	fmt.Println("b-branch with j:   BonXai", schema.Valid(good), " compiled EDTD", compiled.Valid(good))
+	fmt.Println("b-branch with k:   BonXai", schema.Valid(crossed), "compiled EDTD", compiled.Valid(crossed))
+	fmt.Println("compiled EDTD is single-type:", compiled.IsSingleType())
+}

@@ -1,0 +1,75 @@
+// Schema inference (Section 4.2.3): learn concise regular expressions and
+// whole DTDs from positive examples — 2T-INF + RWR for single-occurrence
+// expressions, CRX for chain expressions, occurrence marking for k-OREs —
+// and validate the round trip.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/determinism"
+	"repro/internal/dtd"
+	"repro/internal/inference"
+	"repro/internal/kore"
+	"repro/internal/regex"
+	"repro/internal/tree"
+	"repro/internal/xmllite"
+)
+
+func words(ws ...string) inference.Sample {
+	var s inference.Sample
+	for _, w := range ws {
+		s = append(s, strings.Fields(w))
+	}
+	return s
+}
+
+func main() {
+	// --- word-level inference -------------------------------------------
+	sample := words("a b c", "a c", "a b b c")
+	sore := inference.InferSORE(sample)
+	chareE := inference.InferCHARE(sample)
+	fmt.Printf("sample {abc, ac, abbc}:\n  SORE  (RWR):  %s  (SORE: %v, deterministic: %v)\n",
+		sore, kore.IsSORE(sore), determinism.IsDeterministic(sore))
+	fmt.Printf("  CHARE (CRX):  %s\n", chareE)
+
+	// a language needing k = 2 occurrences
+	s2 := words("a b a")
+	fmt.Printf("sample {aba}: SORE %s vs 2-ORE %s\n",
+		inference.InferSORE(s2), inference.InferKORE(s2, 2))
+
+	// characteristic samples (Theorem 4.9 for k = 1)
+	target := "city state country?"
+	cs := inference.CharacteristicSample(regex.MustParse(target))
+	fmt.Printf("characteristic sample of %q: %d words; recovered: %s\n",
+		target, len(cs), inference.InferSORE(cs))
+	fmt.Println()
+
+	// --- DTD inference from documents ------------------------------------
+	docs := []string{
+		xmllite.Figure1XML,
+		`<persons><person pers_id="3"><name>Miriam</name>
+		   <birthplace><city>Port of Spain</city><state>San Juan</state><country>TT</country></birthplace>
+		 </person></persons>`,
+		`<persons/>`,
+	}
+	var trees []*tree.Node
+	for _, doc := range docs {
+		el, err := xmllite.Parse(doc)
+		if err != nil {
+			fmt.Println("skipping malformed document:", err)
+			continue
+		}
+		trees = append(trees, el.AsTree())
+	}
+	learned := dtd.Infer(trees, inference.InferSORE)
+	fmt.Print("DTD inferred from the documents:\n", learned)
+	for i, t := range trees {
+		fmt.Printf("document %d re-validates: %v\n", i+1, learned.Validate(t) == nil)
+	}
+	fmt.Println("recursive:", learned.IsRecursive())
+	if depth, ok := learned.MaxDepth(); ok {
+		fmt.Println("max allowed document depth:", depth)
+	}
+}

@@ -1,0 +1,184 @@
+package bonxai
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/automata"
+	"repro/internal/edtd"
+	"repro/internal/regex"
+)
+
+// FromEDTD converts a single-type EDTD into an equivalent pattern-based
+// schema — the Figure 2a → Figure 2b direction of Section 4.4 ("the main
+// conceptual idea behind BonXai is to specify the Figure 2a schema as the
+// set of rules in Figure 2b"). It succeeds when every pair of same-label
+// types with different content is separated by a bounded ancestor-label
+// context (Bex et al. observed depth ≤ 2 in all real-world XSDs); it
+// returns (nil, false) otherwise.
+//
+// For a type t whose content is determined by its k nearest ancestor
+// labels ℓ1 (parent) … ℓk, the emitted rule is
+//
+//	//ℓk/…/ℓ1/μ(t) → μ(ρ(t)),
+//
+// with plain-label rules for context-independent types.
+func FromEDTD(d *edtd.EDTD, maxContext int) (*Schema, bool) {
+	if !d.IsSingleType() {
+		return nil, false
+	}
+	k := d.TypeDependencyDepth(maxContext)
+	if k < 0 {
+		return nil, false
+	}
+	real := d.Realizable()
+	// Per type: the set of ancestor-label contexts of length ≤ k under
+	// which it occurs (nearest ancestor first), via fixpoint propagation
+	// from the start types.
+	contexts := map[string]map[string]bool{}
+	types := d.Types()
+	for _, t := range types {
+		contexts[t] = map[string]bool{}
+	}
+	for s := range d.Start {
+		if real[s] {
+			contexts[s][""] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, t := range types {
+			if !real[t] {
+				continue
+			}
+			for ctx := range contexts[t] {
+				child := pushContext(ctx, d.Label(t), k)
+				for _, u := range d.Rule(t).Alphabet() {
+					if !real[u] {
+						continue
+					}
+					if !contexts[u][child] {
+						contexts[u][child] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	schema := &Schema{}
+	// group same-label types: when all reachable same-label types share a
+	// language-equivalent content we can emit a bare-label rule; otherwise
+	// one rule per context.
+	byLabel := map[string][]string{}
+	for _, t := range types {
+		if real[t] && len(contexts[t]) > 0 {
+			byLabel[d.Label(t)] = append(byLabel[d.Label(t)], t)
+		}
+	}
+	labels := make([]string, 0, len(byLabel))
+	for l := range byLabel {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		ts := byLabel[l]
+		sort.Strings(ts)
+		if allEquivalentContent(d, ts) {
+			// the label's content is context-independent: one bare rule
+			schema.Rules = append(schema.Rules, Rule{
+				Pattern: MustParsePattern(l),
+				Expr:    projectContent(d, ts[0]),
+			})
+			continue
+		}
+		// context-dependent label: one rule per (type, context). Contexts
+		// with fewer than k parts were not truncated, so they reach the
+		// root and the pattern can (and must) be anchored.
+		for _, t := range ts {
+			ctxs := make([]string, 0, len(contexts[t]))
+			for c := range contexts[t] {
+				ctxs = append(ctxs, c)
+			}
+			sort.Strings(ctxs)
+			for _, ctx := range ctxs {
+				pat, err := ParsePattern(contextPattern(ctx, l, k))
+				if err != nil {
+					return nil, false
+				}
+				schema.Rules = append(schema.Rules, Rule{
+					Pattern: pat,
+					Expr:    projectContent(d, t),
+				})
+			}
+		}
+	}
+	// roots
+	for s := range d.Start {
+		if real[s] {
+			schema.Root(d.Label(s))
+		}
+	}
+	if schema.Roots == nil {
+		schema.Roots = map[string]bool{}
+	}
+	return schema, true
+}
+
+// allEquivalentContent reports whether all the types' label-projected
+// contents define the same language.
+func allEquivalentContent(d *edtd.EDTD, ts []string) bool {
+	for i := 1; i < len(ts); i++ {
+		if !automata.Equivalent(projectContent(d, ts[0]), projectContent(d, ts[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+// contextPattern renders the nearest-first ancestor context ℓ1/…/ℓj and
+// the node label. A full-length context (j = k) may have been truncated,
+// so the pattern floats: //ℓk/…/ℓ1/label. A shorter context reaches the
+// root, so the pattern is anchored exactly: /ℓj/…/ℓ1/label.
+func contextPattern(ctx, label string, k int) string {
+	if ctx == "" {
+		return "/" + label // at the root
+	}
+	parts := strings.Split(ctx, "/")
+	short := len(parts) < k
+	// reverse: furthest ancestor first
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	if short {
+		return "/" + strings.Join(parts, "/") + "/" + label
+	}
+	return "//" + strings.Join(parts, "/") + "/" + label
+}
+
+// projectContent returns μ(ρ(t)) restricted to realizable types.
+func projectContent(d *edtd.EDTD, t string) *regex.Expr {
+	e := d.Rule(t).Clone()
+	mu := d.Mu
+	e.Walk(func(x *regex.Expr) {
+		if x.Kind == regex.Symbol {
+			if l, ok := mu[x.Sym]; ok {
+				x.Sym = l
+			}
+		}
+	})
+	return e
+}
+
+// pushContext is shared with the EDTD context analysis: prepend the label
+// and truncate to k.
+func pushContext(ctx, label string, k int) string {
+	parts := []string{label}
+	if ctx != "" {
+		parts = append(parts, strings.Split(ctx, "/")...)
+	}
+	if len(parts) > k {
+		parts = parts[:k]
+	}
+	return strings.Join(parts, "/")
+}

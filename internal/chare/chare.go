@@ -1,0 +1,299 @@
+// Package chare implements the sequential (chain) regular expressions of
+// Section 4.2.2 of "Towards Theory for Real-World Data": expressions of the
+// form f1 · f2 · … · fn where every fi is a *simple factor*
+// (a1 + … + ak), (a1 + … + ak)?, (a1 + … + ak)* or (a1 + … + ak)+.
+//
+// Bex et al. discovered that over 92% of the regular expressions in real
+// DTDs are of this shape, which motivated the fragment-specific complexity
+// analysis of Theorems 4.4 and 4.5 (Martens, Neven, Schwentick). This
+// package provides the fragment classification RE(f1,…,fk) and the
+// fragment-specific polynomial-time decision procedures, with the general
+// automata-theoretic procedures as fallback.
+package chare
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/regex"
+)
+
+// Modifier is the iteration operator applied to a simple factor.
+type Modifier int
+
+// Factor modifiers: (S) exactly once, (S)? at most once, (S)* any number of
+// times, (S)+ at least once.
+const (
+	One Modifier = iota
+	Question
+	Star
+	Plus
+)
+
+func (m Modifier) String() string {
+	switch m {
+	case One:
+		return ""
+	case Question:
+		return "?"
+	case Star:
+		return "*"
+	case Plus:
+		return "+"
+	}
+	return "!"
+}
+
+// Unbounded reports whether the modifier allows arbitrarily many symbols.
+func (m Modifier) Unbounded() bool { return m == Star || m == Plus }
+
+// Nullable reports whether the factor may match the empty word.
+func (m Modifier) Nullable() bool { return m == Question || m == Star }
+
+// Factor is a simple factor: a non-empty disjunction of labels with a
+// modifier.
+type Factor struct {
+	Symbols []string // sorted, unique, non-empty
+	Mod     Modifier
+}
+
+// Singleton reports whether the disjunction has exactly one label.
+func (f Factor) Singleton() bool { return len(f.Symbols) == 1 }
+
+// Contains reports whether f's symbol set contains a.
+func (f Factor) Contains(a string) bool {
+	i := sort.SearchStrings(f.Symbols, a)
+	return i < len(f.Symbols) && f.Symbols[i] == a
+}
+
+// ContainsAll reports whether f's symbol set contains all of syms.
+func (f Factor) ContainsAll(syms []string) bool {
+	for _, a := range syms {
+		if !f.Contains(a) {
+			return false
+		}
+	}
+	return true
+}
+
+func (f Factor) String() string {
+	if f.Singleton() && f.Mod == One {
+		return f.Symbols[0]
+	}
+	if f.Singleton() {
+		return f.Symbols[0] + f.Mod.String()
+	}
+	return "(" + strings.Join(f.Symbols, " + ") + ")" + f.Mod.String()
+}
+
+// FactorType identifies the eight factor types of the fragment notation
+// RE(f1,…,fk) in Section 4.2.2: a, a?, a*, a+ for singleton factors and
+// (+a), (+a)?, (+a)*, (+a)+ for factors with disjunction.
+type FactorType int
+
+// The eight factor types. TypeA..TypePlus are singletons; the TypeDisj*
+// variants have ≥ 2 symbols.
+const (
+	TypeA FactorType = iota
+	TypeAQuestion
+	TypeAStar
+	TypeAPlus
+	TypeDisj
+	TypeDisjQuestion
+	TypeDisjStar
+	TypeDisjPlus
+)
+
+var typeNames = map[FactorType]string{
+	TypeA:            "a",
+	TypeAQuestion:    "a?",
+	TypeAStar:        "a*",
+	TypeAPlus:        "a+",
+	TypeDisj:         "(+a)",
+	TypeDisjQuestion: "(+a)?",
+	TypeDisjStar:     "(+a)*",
+	TypeDisjPlus:     "(+a)+",
+}
+
+func (t FactorType) String() string { return typeNames[t] }
+
+// Type returns the factor's type in the RE(…) notation.
+func (f Factor) Type() FactorType {
+	base := TypeA
+	if !f.Singleton() {
+		base = TypeDisj
+	}
+	switch f.Mod {
+	case One:
+		return base
+	case Question:
+		return base + 1
+	case Star:
+		return base + 2
+	case Plus:
+		return base + 3
+	}
+	panic("chare: bad modifier")
+}
+
+// CHARE is a sequential regular expression: a sequence of simple factors.
+// The zero value denotes the expression ε (empty sequence of factors).
+type CHARE struct {
+	Factors []Factor
+}
+
+func (c *CHARE) String() string {
+	if len(c.Factors) == 0 {
+		return "<eps>"
+	}
+	parts := make([]string, len(c.Factors))
+	for i, f := range c.Factors {
+		parts[i] = f.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Expr converts the CHARE back to a general regular expression.
+func (c *CHARE) Expr() *regex.Expr {
+	if len(c.Factors) == 0 {
+		return regex.NewEpsilon()
+	}
+	parts := make([]*regex.Expr, len(c.Factors))
+	for i, f := range c.Factors {
+		syms := make([]*regex.Expr, len(f.Symbols))
+		for j, a := range f.Symbols {
+			syms[j] = regex.NewSymbol(a)
+		}
+		e := regex.NewUnion(syms...)
+		switch f.Mod {
+		case Question:
+			e = regex.NewOpt(e)
+		case Star:
+			e = regex.NewStar(e)
+		case Plus:
+			e = regex.NewPlus(e)
+		}
+		parts[i] = e
+	}
+	return regex.NewConcat(parts...)
+}
+
+// Types returns the sorted set of factor types used by c.
+func (c *CHARE) Types() []FactorType {
+	seen := map[FactorType]bool{}
+	for _, f := range c.Factors {
+		seen[f.Type()] = true
+	}
+	out := make([]FactorType, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FragmentName renders the fragment of c in the paper's notation, e.g.
+// "RE(a,a*)".
+func (c *CHARE) FragmentName() string {
+	ts := c.Types()
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = t.String()
+	}
+	return "RE(" + strings.Join(parts, ",") + ")"
+}
+
+// InFragment reports whether every factor type of c is among allowed.
+func (c *CHARE) InFragment(allowed ...FactorType) bool {
+	ok := map[FactorType]bool{}
+	for _, t := range allowed {
+		ok[t] = true
+	}
+	for _, f := range c.Factors {
+		if !ok[f.Type()] {
+			return false
+		}
+	}
+	return true
+}
+
+// Parse attempts to interpret a general regular expression as a CHARE.
+// It returns (nil, false) if e is not sequential. Recognized shapes:
+// a concatenation (possibly of length 1) of simple factors, where a simple
+// factor is a label, a disjunction of labels, or either of those under one
+// of ?, *, +. ε is the empty CHARE. Nested iteration such as (a*)? or
+// (a* + b) disqualifies the expression, as do ∅ and ε occurring as proper
+// subexpressions.
+func Parse(e *regex.Expr) (*CHARE, bool) {
+	switch e.Kind {
+	case regex.Epsilon:
+		return &CHARE{}, true
+	case regex.Empty:
+		return nil, false
+	}
+	var factors []Factor
+	subs := []*regex.Expr{e}
+	if e.Kind == regex.Concat {
+		subs = e.Subs
+	}
+	for _, s := range subs {
+		f, ok := parseFactor(s)
+		if !ok {
+			return nil, false
+		}
+		factors = append(factors, f)
+	}
+	return &CHARE{Factors: factors}, true
+}
+
+func parseFactor(e *regex.Expr) (Factor, bool) {
+	mod := One
+	inner := e
+	switch e.Kind {
+	case regex.Star:
+		mod, inner = Star, e.Sub()
+	case regex.Plus:
+		mod, inner = Plus, e.Sub()
+	case regex.Opt:
+		mod, inner = Question, e.Sub()
+	}
+	var syms []string
+	switch inner.Kind {
+	case regex.Symbol:
+		syms = []string{inner.Sym}
+	case regex.Union:
+		seen := map[string]bool{}
+		for _, s := range inner.Subs {
+			if s.Kind != regex.Symbol {
+				return Factor{}, false
+			}
+			if !seen[s.Sym] {
+				seen[s.Sym] = true
+				syms = append(syms, s.Sym)
+			}
+		}
+		sort.Strings(syms)
+	default:
+		return Factor{}, false
+	}
+	return Factor{Symbols: syms, Mod: mod}, true
+}
+
+// MustParse parses a CHARE from its textual form and panics when the input
+// is not sequential; for tests and examples.
+func MustParse(s string) *CHARE {
+	c, ok := Parse(regex.MustParse(s))
+	if !ok {
+		panic(fmt.Sprintf("chare: %q is not a sequential regular expression", s))
+	}
+	return c
+}
+
+// IsCHARE reports whether the general expression e is sequential. Bex et
+// al.'s corpus statistic (Section 4.2.2): over 92% of regular expressions in
+// real DTDs satisfy this test.
+func IsCHARE(e *regex.Expr) bool {
+	_, ok := Parse(e)
+	return ok
+}

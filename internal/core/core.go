@@ -1,0 +1,468 @@
+// Package core is the system of Section 11 of "Towards Theory for
+// Real-World Data": a SHARQL-style corpus analyzer that subjects every
+// query of a log to a battery of analytical tests and aggregates the
+// results into the paper's tables — Table 2 (Total/Valid/Unique), Figure 3
+// (triple-count distribution), Table 3 (feature usage), Tables 4/5
+// (operator-set fragments), Table 6 (free-connex acyclicity and hypertree
+// width), Table 7 (canonical-graph shapes) and Table 8 (property-path
+// types), plus the well-designedness and tractability statistics of
+// Sections 9.4 and 9.6.
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/hypergraph"
+	"repro/internal/propertypath"
+	"repro/internal/sparql"
+	"repro/internal/sparqlalg"
+)
+
+// Counter2 is a (Valid, Unique) pair of counts: every per-query statistic
+// is reported for the multiset of valid queries and for the deduplicated
+// set, matching the X (Y) convention of Section 9.
+type Counter2 struct {
+	V, U int
+}
+
+func (c *Counter2) add(unique bool) {
+	c.V++
+	if unique {
+		c.U++
+	}
+}
+
+// ShapeLevel is a row of the cumulative shape analysis of Table 7.
+type ShapeLevel int
+
+// Table 7 rows, in cumulative order.
+const (
+	ShapeNoEdge ShapeLevel = iota
+	ShapeOneEdge
+	ShapeChain
+	ShapeStar
+	ShapeTree
+	ShapeForest
+	ShapeTW2
+	ShapeTW3
+	ShapeBeyond
+	numShapeLevels
+)
+
+var shapeNames = [numShapeLevels]string{
+	"no edge", "<=1 edge", "chain", "star", "tree", "forest", "tw<=2", "tw<=3", "beyond",
+}
+
+// String returns the paper's row label.
+func (s ShapeLevel) String() string { return shapeNames[s] }
+
+// HypertreeStats is one half of Table 6 (for CQ or CQ+F).
+type HypertreeStats struct {
+	FCA   Counter2
+	Htw1  Counter2
+	Htw2  Counter2
+	Htw3  Counter2
+	Total Counter2
+}
+
+// SourceReport aggregates every analysis for one log source.
+type SourceReport struct {
+	Name     string
+	Wikidata bool
+	Robotic  bool
+
+	// Table 2
+	Total, Valid, Unique int
+
+	// Figure 3: buckets 0..10 and 11+ (index 11), over Select/Ask/
+	// Construct queries only (Describe is excluded, Section 9.3).
+	TripleBuckets [12]Counter2
+	CountedV      int // queries contributing to the buckets
+	CountedU      int
+	MaxTriples    int
+
+	// Table 3
+	Features map[sparql.Feature]*Counter2
+
+	// Tables 4/5: operator-set name → count ("none", "And", "Filter",
+	// "And, Filter", "2RPQ", …, "beyond").
+	OperatorSets map[string]*Counter2
+
+	// Section 9.4: well-designedness among And/Filter/Optional queries.
+	AFO, WellDesigned Counter2
+	// Section 9.1: unions of well-designed patterns / well-behaved queries
+	// (Picalausa & Vansummeren: 83.8% (75.7%) of all patterns).
+	WellBehaved Counter2
+
+	// Table 6
+	CQ, CQF HypertreeStats
+
+	// Section 9.5: filter classes among CQ+F queries.
+	SafeFilterOnly, SimpleFilterOnly Counter2
+
+	// Table 7: cumulative shape levels for graph-CQ+F queries, with and
+	// without constants. The counters are *exact* levels; the renderer
+	// accumulates.
+	GraphCQF                Counter2
+	ShapeWith, ShapeWithout [numShapeLevels]Counter2
+
+	// Table 8 and Section 9.6 (per property path, not per query).
+	PPRows    map[propertypath.Table8Row]*Counter2
+	PPTotal   Counter2
+	PPQueries Counter2 // queries using ≥ 1 property path
+	NonSTE    Counter2 // paths outside simple transitive expressions
+	NonCtract Counter2
+	NonTtract Counter2
+}
+
+// NewSourceReport returns an empty report.
+func NewSourceReport(name string) *SourceReport {
+	return &SourceReport{
+		Name:         name,
+		Features:     map[sparql.Feature]*Counter2{},
+		OperatorSets: map[string]*Counter2{},
+		PPRows:       map[propertypath.Table8Row]*Counter2{},
+	}
+}
+
+// Analyzer ingests raw query strings for one source.
+type Analyzer struct {
+	Report *SourceReport
+	seen   map[string]bool
+}
+
+// NewAnalyzer returns an analyzer for one source.
+func NewAnalyzer(name string) *Analyzer {
+	return &Analyzer{Report: NewSourceReport(name), seen: map[string]bool{}}
+}
+
+// Ingest processes one raw query string through the full battery.
+func (a *Analyzer) Ingest(raw string) {
+	r := a.Report
+	r.Total++
+	q, err := sparql.Parse(raw)
+	if err != nil {
+		return
+	}
+	r.Valid++
+	canon := q.Canonical()
+	unique := !a.seen[canon]
+	if unique {
+		a.seen[canon] = true
+		r.Unique++
+	}
+	a.analyze(q, unique)
+}
+
+// analyze runs the per-query tests, bumping the V counter always and the
+// U counter for the first occurrence.
+func (a *Analyzer) analyze(q *sparql.Query, unique bool) {
+	r := a.Report
+
+	// Figure 3
+	if q.Type != sparql.Describe {
+		n := q.TripleCount()
+		if n > r.MaxTriples {
+			r.MaxTriples = n
+		}
+		b := n
+		if b > 11 {
+			b = 11
+		}
+		r.TripleBuckets[b].add(unique)
+		r.CountedV++
+		if unique {
+			r.CountedU++
+		}
+	}
+
+	// Table 3
+	for f := range q.Features() {
+		c := r.Features[f]
+		if c == nil {
+			c = &Counter2{}
+			r.Features[f] = c
+		}
+		c.add(unique)
+	}
+
+	// Tables 4/5
+	ops := q.Operators()
+	oc := r.OperatorSets[ops.Name()]
+	if oc == nil {
+		oc = &Counter2{}
+		r.OperatorSets[ops.Name()] = oc
+	}
+	oc.add(unique)
+
+	// Section 9.4
+	if sparqlalg.UsesOnlyAFO(q) {
+		r.AFO.add(unique)
+		if sparqlalg.IsWellDesigned(q) {
+			r.WellDesigned.add(unique)
+		}
+	}
+	// Section 9.1
+	if sparqlalg.IsWellBehaved(q) {
+		r.WellBehaved.add(unique)
+	}
+
+	// Table 6 + Section 9.5 + Table 7 for the conjunctive fragments
+	if q.IsCQF() {
+		a.analyzeConjunctive(q, unique)
+	}
+
+	// Table 8 / Section 9.6: property paths
+	pps := q.PropertyPaths()
+	if len(pps) > 0 {
+		r.PPQueries.add(unique)
+	}
+	for _, pp := range pps {
+		r.PPTotal.add(unique)
+		row := propertypath.Classify(pp)
+		c := r.PPRows[row]
+		if c == nil {
+			c = &Counter2{}
+			r.PPRows[row] = c
+		}
+		c.add(unique)
+		if !propertypath.IsSimpleTransitive(pp) {
+			r.NonSTE.add(unique)
+		}
+		if !propertypath.InCtract(pp) {
+			r.NonCtract.add(unique)
+		}
+		if !propertypath.InTtractApprox(pp) {
+			r.NonTtract.add(unique)
+		}
+	}
+}
+
+// analyzeConjunctive handles the CQ/CQ+F analyses.
+func (a *Analyzer) analyzeConjunctive(q *sparql.Query, unique bool) {
+	r := a.Report
+	isCQ := q.IsCQ()
+
+	// gather triple patterns and filters
+	var triples []*sparql.Pattern
+	var filters []*sparql.Expr
+	q.Walk(func(p *sparql.Pattern) {
+		switch p.Kind {
+		case sparql.PTriple:
+			triples = append(triples, p)
+		case sparql.PFilter:
+			if p.Expr != nil {
+				filters = append(filters, p.Expr)
+			}
+		}
+	})
+
+	// canonical hypergraph (Section 9.5): triple hyperedges over var-like
+	// terms, plus one hyperedge per filter over its variables
+	h := hypergraph.New()
+	varSet := map[string]bool{}
+	for _, t := range triples {
+		var vs []string
+		for _, term := range []sparql.Term{t.S, t.P, t.O} {
+			if term.IsVarLike() {
+				vs = append(vs, "?"+term.Value)
+				varSet["?"+term.Value] = true
+			}
+		}
+		h.AddEdge(vs...)
+	}
+	allSafe, allSimple := true, true
+	for _, f := range filters {
+		vs := f.Vars()
+		pref := make([]string, len(vs))
+		for i, v := range vs {
+			pref[i] = "?" + v
+			varSet["?"+v] = true
+		}
+		h.AddEdge(pref...)
+		if !f.IsSafeFilter() {
+			allSafe = false
+		}
+		if !f.IsSimpleFilter() {
+			allSimple = false
+		}
+	}
+	// "only And and safe/simple filters" (Section 9.5); queries without
+	// filters qualify vacuously.
+	if allSafe {
+		r.SafeFilterOnly.add(unique)
+	}
+	if allSimple {
+		r.SimpleFilterOnly.add(unique)
+	}
+
+	// free variables: projection for SELECT, all variables for * and
+	// non-SELECT forms
+	var free []string
+	if q.Type == sparql.Select && !q.Star {
+		for _, it := range q.Items {
+			if varSet["?"+it.Var] {
+				free = append(free, "?"+it.Var)
+			}
+		}
+	} else {
+		for v := range varSet {
+			free = append(free, v)
+		}
+	}
+
+	fca := h.IsFreeConnexAcyclic(free)
+	acyclic := h.IsAcyclic()
+	htw1 := acyclic
+	htw2 := htw1 || h.HypertreeWidthAtMost(2)
+	htw3 := htw2 || h.HypertreeWidthAtMost(3)
+
+	apply := func(st *HypertreeStats) {
+		st.Total.add(unique)
+		if fca {
+			st.FCA.add(unique)
+		}
+		if htw1 {
+			st.Htw1.add(unique)
+		}
+		if htw2 {
+			st.Htw2.add(unique)
+		}
+		if htw3 {
+			st.Htw3.add(unique)
+		}
+	}
+	apply(&r.CQF)
+	if isCQ {
+		apply(&r.CQ)
+	}
+
+	// Table 7: graph-CQ+F suitability
+	if !isGraphPattern(triples) || !allSimple {
+		return
+	}
+	r.GraphCQF.add(unique)
+	lvlWith := shapeLevel(canonicalGraph(triples, filters, true))
+	lvlWithout := shapeLevel(canonicalGraph(triples, filters, false))
+	r.ShapeWith[lvlWith].add(unique)
+	r.ShapeWithout[lvlWithout].add(unique)
+}
+
+// isGraphPattern implements the Section 9.5 condition: every triple's
+// predicate is an IRI, or a variable not occurring in any other triple
+// pattern.
+func isGraphPattern(triples []*sparql.Pattern) bool {
+	occurrences := map[string]int{}
+	for _, t := range triples {
+		for _, term := range []sparql.Term{t.S, t.P, t.O} {
+			if term.IsVarLike() {
+				occurrences[term.Value]++
+			}
+		}
+	}
+	for _, t := range triples {
+		if t.P.Kind == sparql.TermIRI {
+			continue
+		}
+		if t.P.IsVarLike() && occurrences[t.P.Value] == 1 {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// canonicalGraph builds the Table 7 graph: nodes are subjects/objects
+// (variables, blanks, and — when withConstants — IRIs and literals);
+// edges come from triples and from binary filters.
+func canonicalGraph(triples []*sparql.Pattern, filters []*sparql.Expr, withConstants bool) *graph.Graph {
+	id := map[string]int{}
+	nodeOf := func(t sparql.Term) (int, bool) {
+		if t.IsVarLike() {
+			k := "?" + t.Value
+			if n, ok := id[k]; ok {
+				return n, true
+			}
+			id[k] = len(id)
+			return id[k], true
+		}
+		if !withConstants {
+			return 0, false
+		}
+		k := "c:" + t.Value
+		if n, ok := id[k]; ok {
+			return n, true
+		}
+		id[k] = len(id)
+		return id[k], true
+	}
+	type edge struct{ a, b int }
+	var edges []edge
+	for _, t := range triples {
+		a, okA := nodeOf(t.S)
+		b, okB := nodeOf(t.O)
+		if okA && okB && a != b {
+			edges = append(edges, edge{a, b})
+		}
+	}
+	for _, f := range filters {
+		vs := f.Vars()
+		if len(vs) == 2 {
+			a, _ := nodeOf(sparql.Term{Kind: sparql.TermVar, Value: vs[0]})
+			b, _ := nodeOf(sparql.Term{Kind: sparql.TermVar, Value: vs[1]})
+			if a != b {
+				edges = append(edges, edge{a, b})
+			}
+		}
+	}
+	g := graph.New(len(id))
+	for _, e := range edges {
+		g.AddEdge(e.a, e.b)
+	}
+	return g
+}
+
+// shapeLevel classifies the canonical graph into its exact Table 7 level.
+// Isolated vertices (e.g. variables whose only edges went to deleted
+// constant nodes) are ignored for the connected shapes, matching the
+// cumulative reading of the table.
+func shapeLevel(g *graph.Graph) ShapeLevel {
+	if g.HasNoEdge() {
+		return ShapeNoEdge
+	}
+	if g.HasAtMostOneEdge() {
+		return ShapeOneEdge
+	}
+	// drop isolated vertices
+	var keep []int
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) > 0 {
+			keep = append(keep, v)
+		}
+	}
+	core := g.InducedSubgraph(keep)
+	switch {
+	case core.IsChain():
+		return ShapeChain
+	case core.IsStar():
+		return ShapeStar
+	case core.IsTree():
+		return ShapeTree
+	case core.IsForest():
+		return ShapeForest
+	}
+	if ok, decided := graph.TreewidthAtMost(core, 2); decided && ok {
+		return ShapeTW2
+	} else if !decided {
+		if _, ub := graph.Bounds(core); ub <= 2 {
+			return ShapeTW2
+		}
+	}
+	if ok, decided := graph.TreewidthAtMost(core, 3); decided && ok {
+		return ShapeTW3
+	} else if !decided {
+		if _, ub := graph.Bounds(core); ub <= 3 {
+			return ShapeTW3
+		}
+	}
+	return ShapeBeyond
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"io"
+
+	"repro/internal/loggen"
+)
+
+// RunLogStudy generates the synthetic corpus for every Table 2 source at
+// the given scale divisor and pushes it through the analyzer.
+func RunLogStudy(seed int64, scaleDiv int) []*SourceReport {
+	var reports []*SourceReport
+	for i, s := range loggen.Sources() {
+		g := loggen.NewGen(s, seed+int64(i)*7919)
+		a := NewAnalyzer(s.Name)
+		a.Report.Wikidata = s.Wikidata
+		a.Report.Robotic = s.Robotic
+		n := g.Count(scaleDiv)
+		for j := 0; j < n; j++ {
+			a.Ingest(g.Next())
+		}
+		reports = append(reports, a.Report)
+	}
+	return reports
+}
+
+// RenderAll writes every log-derived table and figure of the paper to w.
+func RenderAll(w io.Writer, reports []*SourceReport) {
+	dbp, wiki := GroupReports(reports)
+	section := func(title string) {
+		io.WriteString(w, "\n== "+title+" ==\n")
+	}
+	section("Table 2: queries in the logs")
+	RenderTable2(w, reports)
+	section("Figure 3: triple patterns per query")
+	RenderFigure3(w, reports)
+	section("Table 3: feature usage (DBpedia-BritM)")
+	RenderTable3(w, dbp)
+	section("Table 3: feature usage (Wikidata)")
+	RenderTable3(w, wiki)
+	section("Table 4: And/Filter operator sets (DBpedia-BritM)")
+	RenderOperatorSets(w, dbp, Table4Rows)
+	section("Table 5: And/Filter/2RPQ operator sets (Wikidata)")
+	RenderOperatorSets(w, wiki, Table5Rows)
+	section("Table 6: hypertree width and free-connex acyclicity (DBpedia-BritM)")
+	RenderTable6(w, dbp)
+	section("Table 7: shape analysis of graph-CQ+F queries (DBpedia-BritM)")
+	RenderTable7(w, dbp)
+	section("Table 8: property path types (Wikidata)")
+	RenderTable8(w, wiki)
+	section("Section 9.4: well-designed patterns")
+	RenderSection94(w, dbp)
+	RenderSection94(w, wiki)
+	section("Section 9.6: property path tractability")
+	RenderSection96(w, wiki)
+}

@@ -1,0 +1,252 @@
+package dtd
+
+import (
+	"repro/internal/automata"
+	"repro/internal/chare"
+)
+
+// Contains decides L(d1) ⊆ L(d2) — DTD containment, which Section 4.2.2
+// notes "reduces to the same problems on regular expressions".
+//
+// The reduction: trim d1 to its reachable and realizable labels; then
+// L(d1) ⊆ L(d2) iff every realizable start label of d1 is a start label of
+// d2 and, for every trimmed label a, the realizable-restricted content
+// language L(ρ1(a)) ∩ R* is contained in L(ρ2(a)). Soundness: any valid
+// d1-tree's node uses such a word; completeness: a counterexample word at
+// a reachable label extends to a full counterexample tree because all its
+// labels are realizable in d1 (and validity in d2 would require the word
+// in L(ρ2(a))).
+func Contains(d1, d2 *DTD) bool {
+	real := d1.Realizable()
+	// reachable ∩ realizable labels of d1, starting from realizable starts
+	reachable := map[string]bool{}
+	var stack []string
+	for s := range d1.Start {
+		if real[s] {
+			if !d2.Start[s] {
+				return false // a valid single-root tree exists only under d1… unless not realizable
+			}
+			if !reachable[s] {
+				reachable[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	for len(stack) > 0 {
+		a := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, b := range d1.reachableChildLabels(a, real) {
+			if !reachable[b] {
+				reachable[b] = true
+				stack = append(stack, b)
+			}
+		}
+	}
+	for a := range reachable {
+		n := restrictNFA(automata.Glushkov(d1.Rule(a)), real)
+		if !automata.NFAContains(n, d2.Rule(a)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equivalent reports L(d1) = L(d2).
+func Equivalent(d1, d2 *DTD) bool {
+	return Contains(d1, d2) && Contains(d2, d1)
+}
+
+// restrictNFA removes transitions with labels outside allowed.
+func restrictNFA(n *automata.NFA, allowed map[string]bool) *automata.NFA {
+	out := automata.NewNFA(n.NumStates)
+	out.Initial = append([]int(nil), n.Initial...)
+	for q := range n.Final {
+		out.Final[q] = true
+	}
+	for q := 0; q < n.NumStates; q++ {
+		for a, ps := range n.Trans[q] {
+			if !allowed[a] {
+				continue
+			}
+			for _, p := range ps {
+				out.AddTransition(q, a, p)
+			}
+		}
+	}
+	return out
+}
+
+// ContentFragment classifies every content model of the DTD into the
+// chain-expression fragment lattice of Section 4.2.2 and returns the
+// observed fragment names; "general" marks non-sequential expressions.
+// This powers the corpus studies and lets callers predict which
+// containment algorithm (Theorem 4.4) applies.
+func (d *DTD) ContentFragment() map[string]int {
+	out := map[string]int{}
+	for _, e := range d.Rules {
+		if c, ok := chare.Parse(e); ok {
+			out[c.FragmentName()]++
+		} else {
+			out["general"]++
+		}
+	}
+	return out
+}
+
+// IntersectionNonEmpty decides whether some tree is valid w.r.t. all the
+// given DTDs (the Intersection problem lifted to DTDs). The construction
+// intersects rule-wise: a tree valid for all DTDs must, at every node,
+// satisfy every DTD's rule; realizability of the product is computed as a
+// least fixpoint like Realizable, over the product content languages.
+func IntersectionNonEmpty(ds ...*DTD) bool {
+	if len(ds) == 0 {
+		return true
+	}
+	// shared start label required
+	var commonStarts []string
+	for s := range ds[0].Start {
+		ok := true
+		for _, d := range ds[1:] {
+			if !d.Start[s] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			commonStarts = append(commonStarts, s)
+		}
+	}
+	if len(commonStarts) == 0 {
+		return false
+	}
+	// alphabet union
+	alphaSet := map[string]bool{}
+	for _, d := range ds {
+		for _, a := range d.Alphabet() {
+			alphaSet[a] = true
+		}
+	}
+	// realizable-in-all fixpoint: label a is jointly realizable iff the
+	// intersection of all content languages restricted to jointly
+	// realizable labels is non-empty
+	real := map[string]bool{}
+	for {
+		changed := false
+		for a := range alphaSet {
+			if real[a] {
+				continue
+			}
+			if jointContentNonEmpty(ds, a, real) {
+				real[a] = true
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, s := range commonStarts {
+		if real[s] {
+			return true
+		}
+	}
+	return false
+}
+
+// jointContentNonEmpty reports whether ⋂ L(ρ_i(a)) ∩ allowed* ≠ ∅ via an
+// on-the-fly subset product of the restricted Glushkov automata.
+func jointContentNonEmpty(ds []*DTD, label string, allowed map[string]bool) bool {
+	nfas := make([]*automata.NFA, len(ds))
+	for i, d := range ds {
+		nfas[i] = restrictNFA(automata.Glushkov(d.Rule(label)), allowed)
+	}
+	type tuple [][]int
+	tkey := func(t tuple) string {
+		b := make([]byte, 0, 16)
+		for _, set := range t {
+			for _, q := range set {
+				b = append(b, byte(q), byte(q>>8), ',')
+			}
+			b = append(b, ';')
+		}
+		return string(b)
+	}
+	startT := make(tuple, len(nfas))
+	for i, n := range nfas {
+		startT[i] = append([]int(nil), n.Initial...)
+	}
+	allFinal := func(t tuple) bool {
+		for i, set := range t {
+			ok := false
+			for _, q := range set {
+				if nfas[i].Final[q] {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if allFinal(startT) {
+		return true
+	}
+	seen := map[string]bool{tkey(startT): true}
+	queue := []tuple{startT}
+	for len(queue) > 0 {
+		t := queue[0]
+		queue = queue[1:]
+		// candidate labels: outgoing labels of the first component
+		labels := map[string]bool{}
+		for _, q := range t[0] {
+			for a := range nfas[0].Trans[q] {
+				labels[a] = true
+			}
+		}
+		for a := range labels {
+			next := make(tuple, len(nfas))
+			dead := false
+			for i, set := range t {
+				m := map[int]bool{}
+				for _, q := range set {
+					for _, p := range nfas[i].Trans[q][a] {
+						m[p] = true
+					}
+				}
+				if len(m) == 0 {
+					dead = true
+					break
+				}
+				succ := make([]int, 0, len(m))
+				for p := range m {
+					succ = append(succ, p)
+				}
+				sortInts(succ)
+				next[i] = succ
+			}
+			if dead {
+				continue
+			}
+			k := tkey(next)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if allFinal(next) {
+				return true
+			}
+			queue = append(queue, next)
+		}
+	}
+	return false
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,376 @@
+// Package dtd implements Document Type Definitions as abstracted in
+// Definition 4.1 of "Towards Theory for Real-World Data": a DTD is a triple
+// (Σ, ρ, S) with ρ mapping labels to regular expressions and S a set of
+// start labels; a labeled ordered tree is valid iff the root's label is in
+// S and every node's child word matches ρ of its label.
+//
+// Besides validation the package provides the structural analyses of the
+// practical studies in Sections 4.1–4.2: recursion detection (Choi: 35 of
+// 60 DTDs were recursive), the maximal document depth of non-recursive DTDs
+// (up to 20 in Choi's corpus), streaming validation — constant-memory
+// exactly for the non-recursive case (Segoufin & Vianu, discussed in
+// Section 4.1) — and DTD inference from example trees.
+package dtd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/automata"
+	"repro/internal/inference"
+	"repro/internal/regex"
+	"repro/internal/tree"
+)
+
+// DTD is the triple (Σ, ρ, S) of Definition 4.1. Σ is implicit: the labels
+// occurring in Rules and Start.
+type DTD struct {
+	// Rules maps each label a to the regular expression ρ(a). Labels that
+	// occur in expressions but have no rule default to ρ(a) = ε (leaves).
+	Rules map[string]*regex.Expr
+	// Start is the set of allowed root labels.
+	Start map[string]bool
+}
+
+// New returns an empty DTD.
+func New() *DTD {
+	return &DTD{Rules: map[string]*regex.Expr{}, Start: map[string]bool{}}
+}
+
+// AddRule sets ρ(label) = e (written label → e in the paper).
+func (d *DTD) AddRule(label string, e *regex.Expr) *DTD {
+	d.Rules[label] = e
+	return d
+}
+
+// AddStart marks label as a start label.
+func (d *DTD) AddStart(label string) *DTD {
+	d.Start[label] = true
+	return d
+}
+
+// Alphabet returns the sorted set Σ of labels mentioned by the DTD.
+func (d *DTD) Alphabet() []string {
+	set := map[string]bool{}
+	for a, e := range d.Rules {
+		set[a] = true
+		for _, b := range e.Alphabet() {
+			set[b] = true
+		}
+	}
+	for a := range d.Start {
+		set[a] = true
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Rule returns ρ(label), defaulting to ε for labels without a rule.
+func (d *DTD) Rule(label string) *regex.Expr {
+	if e, ok := d.Rules[label]; ok {
+		return e
+	}
+	return regex.NewEpsilon()
+}
+
+func (d *DTD) String() string {
+	var b strings.Builder
+	labels := make([]string, 0, len(d.Rules))
+	for a := range d.Rules {
+		labels = append(labels, a)
+	}
+	sort.Strings(labels)
+	for _, a := range labels {
+		fmt.Fprintf(&b, "%s -> %s\n", a, d.Rules[a])
+	}
+	starts := make([]string, 0, len(d.Start))
+	for a := range d.Start {
+		starts = append(starts, a)
+	}
+	sort.Strings(starts)
+	fmt.Fprintf(&b, "start: {%s}\n", strings.Join(starts, ", "))
+	return b.String()
+}
+
+// ValidationError describes why a tree is invalid.
+type ValidationError struct {
+	Label string   // label of the offending node ("" for a root violation)
+	Word  []string // the child word that failed
+	Msg   string
+}
+
+func (e *ValidationError) Error() string { return "dtd: " + e.Msg }
+
+// Validate checks validity of t w.r.t. d (Definition 4.1). The nil error
+// means valid.
+func (d *DTD) Validate(t *tree.Node) error {
+	if !d.Start[t.Label] {
+		return &ValidationError{Msg: fmt.Sprintf("root label %q not in start labels", t.Label)}
+	}
+	v := &validator{d: d, dfas: map[string]*automata.DFA{}}
+	return v.check(t)
+}
+
+type validator struct {
+	d    *DTD
+	dfas map[string]*automata.DFA
+}
+
+func (v *validator) dfa(label string) *automata.DFA {
+	if d, ok := v.dfas[label]; ok {
+		return d
+	}
+	d := automata.Determinize(automata.Glushkov(v.d.Rule(label)))
+	v.dfas[label] = d
+	return d
+}
+
+func (v *validator) check(n *tree.Node) error {
+	w := n.ChildWord()
+	if !v.dfa(n.Label).Accepts(w) {
+		return &ValidationError{
+			Label: n.Label,
+			Word:  w,
+			Msg:   fmt.Sprintf("children %v of %q do not match %s", w, n.Label, v.d.Rule(n.Label)),
+		}
+	}
+	for _, c := range n.Children {
+		if err := v.check(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IsRecursive reports whether the DTD is recursive in the sense of
+// Section 4.1: the graph with an edge (a, b) whenever b appears in ρ(a) has
+// a directed cycle.
+func (d *DTD) IsRecursive() bool {
+	return len(d.recursiveLabels()) > 0
+}
+
+// recursiveLabels returns the labels on a cycle of the dependency graph.
+func (d *DTD) recursiveLabels() map[string]bool {
+	succ := map[string][]string{}
+	for a, e := range d.Rules {
+		succ[a] = e.Alphabet()
+	}
+	// A label is on a cycle iff it can reach itself.
+	out := map[string]bool{}
+	for a := range succ {
+		if reaches(succ, a, a) {
+			out[a] = true
+		}
+	}
+	return out
+}
+
+func reaches(succ map[string][]string, from, target string) bool {
+	seen := map[string]bool{}
+	stack := append([]string(nil), succ[from]...)
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if x == target {
+			return true
+		}
+		if seen[x] {
+			continue
+		}
+		seen[x] = true
+		stack = append(stack, succ[x]...)
+	}
+	return false
+}
+
+// Realizable returns the set of labels a for which some finite tree rooted
+// at an a-labeled node is valid, computed as the least fixpoint: a is
+// realizable iff L(ρ(a)) restricted to realizable labels is non-empty.
+func (d *DTD) Realizable() map[string]bool {
+	real := map[string]bool{}
+	for {
+		changed := false
+		for _, a := range d.Alphabet() {
+			if real[a] {
+				continue
+			}
+			if restrictedNonEmpty(automata.Glushkov(d.Rule(a)), real) {
+				real[a] = true
+				changed = true
+			}
+		}
+		if !changed {
+			return real
+		}
+	}
+}
+
+// restrictedNonEmpty reports whether the NFA accepts a word using only
+// labels in allowed.
+func restrictedNonEmpty(n *automata.NFA, allowed map[string]bool) bool {
+	seen := make([]bool, n.NumStates)
+	stack := append([]int(nil), n.Initial...)
+	for _, q := range stack {
+		seen[q] = true
+	}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n.Final[q] {
+			return true
+		}
+		for a, ps := range n.Trans[q] {
+			if !allowed[a] {
+				continue
+			}
+			for _, p := range ps {
+				if !seen[p] {
+					seen[p] = true
+					stack = append(stack, p)
+				}
+			}
+		}
+	}
+	return false
+}
+
+// reachableChildLabels returns the labels that occur in some word of
+// L(ρ(label)) ∩ allowed*: the labels on the transitions of the trimmed,
+// allowed-restricted Glushkov automaton.
+func (d *DTD) reachableChildLabels(label string, allowed map[string]bool) []string {
+	n := automata.Glushkov(d.Rule(label))
+	// forward-reachable states using allowed labels only
+	fwd := make([]bool, n.NumStates)
+	stack := append([]int(nil), n.Initial...)
+	for _, q := range stack {
+		fwd[q] = true
+	}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for a, ps := range n.Trans[q] {
+			if !allowed[a] {
+				continue
+			}
+			for _, p := range ps {
+				if !fwd[p] {
+					fwd[p] = true
+					stack = append(stack, p)
+				}
+			}
+		}
+	}
+	// backward-reachable from final states using allowed labels only
+	rev := make([][]int, n.NumStates)
+	for q := 0; q < n.NumStates; q++ {
+		for a, ps := range n.Trans[q] {
+			if !allowed[a] {
+				continue
+			}
+			for _, p := range ps {
+				rev[p] = append(rev[p], q)
+			}
+		}
+	}
+	bwd := make([]bool, n.NumStates)
+	stack = stack[:0]
+	for q := range n.Final {
+		bwd[q] = true
+		stack = append(stack, q)
+	}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range rev[q] {
+			if !bwd[p] {
+				bwd[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	// collect labels of transitions on trimmed paths
+	set := map[string]bool{}
+	for q := 0; q < n.NumStates; q++ {
+		if !fwd[q] {
+			continue
+		}
+		for a, ps := range n.Trans[q] {
+			if !allowed[a] {
+				continue
+			}
+			for _, p := range ps {
+				if bwd[p] {
+					set[a] = true
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MaxDepth returns the maximal depth of a tree valid w.r.t. the DTD, or
+// (0, false) if the DTD is recursive (depth unbounded) or allows no tree.
+// Choi's corpus had non-recursive DTDs allowing depths up to 20.
+func (d *DTD) MaxDepth() (int, bool) {
+	if d.IsRecursive() {
+		return 0, false
+	}
+	real := d.Realizable()
+	memo := map[string]int{}
+	var depth func(label string) int
+	depth = func(label string) int {
+		if v, ok := memo[label]; ok {
+			return v
+		}
+		best := 0
+		for _, b := range d.reachableChildLabels(label, real) {
+			if dep := depth(b); dep > best {
+				best = dep
+			}
+		}
+		memo[label] = best + 1
+		return best + 1
+	}
+	best := 0
+	for s := range d.Start {
+		if !real[s] {
+			continue
+		}
+		if v := depth(s); v > best {
+			best = v
+		}
+	}
+	if best == 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// Infer learns a DTD from example trees (schema inference, Section 4.2.3):
+// start labels are the observed roots; for each label, the children words
+// form the sample and infer is applied (e.g. inference.InferSORE or
+// inference.InferCHARE).
+func Infer(trees []*tree.Node, infer func(inference.Sample) *regex.Expr) *DTD {
+	d := New()
+	samples := map[string]inference.Sample{}
+	for _, t := range trees {
+		d.AddStart(t.Label)
+		t.Walk(func(n *tree.Node) {
+			samples[n.Label] = append(samples[n.Label], n.ChildWord())
+		})
+	}
+	for label, s := range samples {
+		d.AddRule(label, infer(s))
+	}
+	return d
+}

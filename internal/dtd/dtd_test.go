@@ -1,0 +1,253 @@
+package dtd
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/inference"
+	"repro/internal/regex"
+	"repro/internal/tree"
+)
+
+// example42 is the DTD of Example 4.2:
+//
+//	persons    → person*
+//	person     → name birthplace
+//	birthplace → city state country?
+func example42() *DTD {
+	return New().
+		AddRule("persons", regex.MustParse("person*")).
+		AddRule("person", regex.MustParse("name birthplace")).
+		AddRule("birthplace", regex.MustParse("city state country?")).
+		AddStart("persons")
+}
+
+// figure1Tree is the tree of Figure 1c.
+func figure1Tree() *tree.Node {
+	return tree.MustParse("persons(person(name, birthplace(city, state, country)), person(name, birthplace(city, state)))")
+}
+
+func TestExample42Validation(t *testing.T) {
+	d := example42()
+	if err := d.Validate(figure1Tree()); err != nil {
+		t.Fatalf("Figure 1c tree should satisfy Example 4.2 DTD: %v", err)
+	}
+	bad := []string{
+		"person(name, birthplace(city, state))",                         // wrong root
+		"persons(person(name))",                                         // missing birthplace
+		"persons(person(birthplace(city, state), name))",                // wrong order
+		"persons(person(name, birthplace(city, country)))",              // missing state
+		"persons(person(name, birthplace(city, state, country)), name)", // stray child
+	}
+	for _, s := range bad {
+		if err := d.Validate(tree.MustParse(s)); err == nil {
+			t.Errorf("tree %q should be invalid", s)
+		}
+	}
+}
+
+func TestParseText(t *testing.T) {
+	src := `
+<!-- the Example 4.2 DTD in real syntax -->
+<!ELEMENT persons (person*)>
+<!ELEMENT person (name, birthplace)>
+<!ATTLIST person pers_id CDATA #REQUIRED>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT birthplace (city, state, country?)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT state (#PCDATA)>
+<!ELEMENT country (#PCDATA)>
+`
+	d, err := ParseText(src, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Start["persons"] {
+		t.Error("first declared element should be the start label")
+	}
+	if err := d.Validate(figure1Tree()); err != nil {
+		t.Errorf("parsed DTD rejects Figure 1c: %v", err)
+	}
+	if d.IsRecursive() {
+		t.Error("Example 4.2 DTD is not recursive")
+	}
+	if depth, ok := d.MaxDepth(); !ok || depth != 4 {
+		// persons → person → birthplace → city
+		t.Errorf("MaxDepth = %d, %v; want 4", depth, ok)
+	}
+}
+
+func TestParseTextANY(t *testing.T) {
+	d, err := ParseText(`<!ELEMENT a ANY><!ELEMENT b EMPTY>`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ANY = (a + b)*: a may contain anything, arbitrarily deep.
+	if err := d.Validate(tree.MustParse("a(b, a(a(b)))")); err != nil {
+		t.Errorf("ANY should allow nesting: %v", err)
+	}
+	if !d.IsRecursive() {
+		t.Error("ANY-rule DTD is recursive")
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"<!ELEMENT >",
+		"<!ELEMENT a (b,>",
+		"<!ELEMENT a (b)><!ELEMENT a (c)>",
+		"<!BOGUS a>",
+		"<!ELEMENT a (b",
+	} {
+		if _, err := ParseText(src, ""); err == nil {
+			t.Errorf("ParseText(%q): expected error", src)
+		}
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	// Choi (Section 4.1): recursion = cycle in the label dependency graph.
+	rec := New().
+		AddRule("section", regex.MustParse("title (para + section)*")).
+		AddRule("title", regex.NewEpsilon()).
+		AddRule("para", regex.NewEpsilon()).
+		AddStart("section")
+	if !rec.IsRecursive() {
+		t.Error("section DTD should be recursive")
+	}
+	if _, ok := rec.MaxDepth(); ok {
+		t.Error("recursive DTD has unbounded depth")
+	}
+	if example42().IsRecursive() {
+		t.Error("Example 4.2 should not be recursive")
+	}
+}
+
+func TestMaxDepthDeep(t *testing.T) {
+	// A chain DTD a1 → a2 → … → a20 allows depth 20 (Choi's corpus
+	// reached depth 20 without recursion).
+	d := New().AddStart("a1")
+	for i := 1; i < 20; i++ {
+		d.AddRule(label(i), regex.NewOpt(regex.NewSymbol(label(i+1))))
+	}
+	d.AddRule(label(20), regex.NewEpsilon())
+	depth, ok := d.MaxDepth()
+	if !ok || depth != 20 {
+		t.Errorf("MaxDepth = %d, %v; want 20", depth, ok)
+	}
+}
+
+func label(i int) string {
+	return "a" + strings.Repeat("x", 0) + itoa(i)
+}
+
+func itoa(i int) string {
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return itoa(i/10) + itoa(i%10)
+}
+
+func TestMaxDepthRealizability(t *testing.T) {
+	// Label b is not realizable (its rule requires a child c with an
+	// unsatisfiable rule), so it must not contribute depth.
+	d := New().
+		AddRule("r", regex.MustParse("x + b")).
+		AddRule("b", regex.MustParse("c")).
+		AddRule("c", regex.NewEmpty()). // no valid c-tree
+		AddRule("x", regex.NewEpsilon()).
+		AddStart("r")
+	depth, ok := d.MaxDepth()
+	if !ok || depth != 2 {
+		t.Errorf("MaxDepth = %d, %v; want 2 (r over x only)", depth, ok)
+	}
+	real := d.Realizable()
+	if real["b"] || real["c"] {
+		t.Errorf("b/c should not be realizable: %v", real)
+	}
+	if !real["r"] || !real["x"] {
+		t.Errorf("r/x should be realizable: %v", real)
+	}
+}
+
+func TestStreamingValidation(t *testing.T) {
+	d := example42()
+	tr := figure1Tree()
+	if err := d.ValidateStream(Events(tr)); err != nil {
+		t.Fatalf("streaming rejects valid tree: %v", err)
+	}
+	// invalid: missing state under birthplace
+	bad := tree.MustParse("persons(person(name, birthplace(city)))")
+	if err := d.ValidateStream(Events(bad)); err == nil {
+		t.Error("streaming accepted invalid tree")
+	}
+	// memory: high-watermark equals tree depth
+	v := NewStreamValidator(d)
+	for _, ev := range Events(tr) {
+		if err := v.Feed(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v.HighWater != tr.Depth() {
+		t.Errorf("HighWater = %d, want %d", v.HighWater, tr.Depth())
+	}
+}
+
+func TestStreamingAgreesWithTreeValidation(t *testing.T) {
+	d := example42()
+	r := rand.New(rand.NewSource(4))
+	labels := []string{"persons", "person", "name", "birthplace", "city", "state", "country"}
+	var gen func(depth int) *tree.Node
+	gen = func(depth int) *tree.Node {
+		n := tree.New(labels[r.Intn(len(labels))])
+		if depth > 0 {
+			for i := 0; i < r.Intn(4); i++ {
+				n.Add(gen(depth - 1))
+			}
+		}
+		return n
+	}
+	for i := 0; i < 300; i++ {
+		tr := gen(3)
+		want := d.Validate(tr) == nil
+		got := d.ValidateStream(Events(tr)) == nil
+		if got != want {
+			t.Fatalf("streaming %v, tree validation %v for %v", got, want, tr)
+		}
+	}
+}
+
+func TestInferDTD(t *testing.T) {
+	trees := []*tree.Node{
+		figure1Tree(),
+		tree.MustParse("persons(person(name, birthplace(city, state)))"),
+		tree.MustParse("persons"),
+	}
+	d := Infer(trees, inference.InferSORE)
+	for _, tr := range trees {
+		if err := d.Validate(tr); err != nil {
+			t.Errorf("inferred DTD rejects example tree: %v", err)
+		}
+	}
+	// The inferred rule for birthplace should be ≡ city state country?.
+	if !automata.Equivalent(d.Rule("birthplace"), regex.MustParse("city state country?")) {
+		t.Errorf("birthplace rule = %q", d.Rule("birthplace"))
+	}
+	if !automata.Equivalent(d.Rule("persons"), regex.MustParse("person*")) {
+		t.Errorf("persons rule = %q", d.Rule("persons"))
+	}
+}
+
+func TestValidateUsesDefaultEpsilonRule(t *testing.T) {
+	d := New().AddRule("a", regex.MustParse("b")).AddStart("a")
+	// b has no rule: defaults to ε, so b must be a leaf.
+	if err := d.Validate(tree.MustParse("a(b)")); err != nil {
+		t.Errorf("leaf default failed: %v", err)
+	}
+	if err := d.Validate(tree.MustParse("a(b(a))")); err == nil {
+		t.Error("b with children should be invalid")
+	}
+}

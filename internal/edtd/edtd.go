@@ -1,0 +1,524 @@
+// Package edtd implements extended DTDs (Definition 4.10) and single-type
+// EDTDs (Definition 4.12) — the paper's structural abstraction of XML
+// Schema (Section 4.3): an EDTD is (Σ, Γ, ρ, S, μ) where (Γ, ρ, S) is a DTD
+// over the type alphabet and μ maps types to labels; a tree is valid iff
+// some typing of its nodes is valid w.r.t. the underlying DTD.
+//
+// The package provides validation for general EDTDs (bottom-up computation
+// of possible type sets — an unranked tree automaton run), the single-type
+// and Element-Declarations-Consistent checks, deterministic top-down typing
+// for single-type EDTDs, and the DTD structural-expressibility test behind
+// the Bex et al. statistic of Section 4.4 (25 of 30 real XSDs are
+// structurally equivalent to a DTD).
+package edtd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/automata"
+	"repro/internal/dtd"
+	"repro/internal/regex"
+	"repro/internal/tree"
+)
+
+// EDTD is an extended DTD (Definition 4.10). Rules are indexed by type;
+// Mu maps each type to the label it represents. Types without a rule
+// default to ε-content.
+type EDTD struct {
+	Rules map[string]*regex.Expr // ρ : Γ → RE over Γ
+	Start map[string]bool        // S ⊆ Γ
+	Mu    map[string]string      // μ : Γ → Σ
+}
+
+// New returns an empty EDTD.
+func New() *EDTD {
+	return &EDTD{Rules: map[string]*regex.Expr{}, Start: map[string]bool{}, Mu: map[string]string{}}
+}
+
+// AddType declares a type with its label and content model.
+func (d *EDTD) AddType(typ, label string, content *regex.Expr) *EDTD {
+	d.Rules[typ] = content
+	d.Mu[typ] = label
+	return d
+}
+
+// AddStart marks a type as a start type.
+func (d *EDTD) AddStart(typ string) *EDTD {
+	d.Start[typ] = true
+	return d
+}
+
+// Types returns the sorted set Γ.
+func (d *EDTD) Types() []string {
+	set := map[string]bool{}
+	for t := range d.Rules {
+		set[t] = true
+	}
+	for t := range d.Mu {
+		set[t] = true
+	}
+	for t := range d.Start {
+		set[t] = true
+	}
+	for _, e := range d.Rules {
+		for _, t := range e.Alphabet() {
+			set[t] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Label returns μ(typ); types never added via AddType map to themselves,
+// so a plain DTD is the special case Γ = Σ, μ = id.
+func (d *EDTD) Label(typ string) string {
+	if l, ok := d.Mu[typ]; ok {
+		return l
+	}
+	return typ
+}
+
+// Rule returns ρ(typ), defaulting to ε.
+func (d *EDTD) Rule(typ string) *regex.Expr {
+	if e, ok := d.Rules[typ]; ok {
+		return e
+	}
+	return regex.NewEpsilon()
+}
+
+func (d *EDTD) String() string {
+	var b strings.Builder
+	for _, t := range d.Types() {
+		if e, ok := d.Rules[t]; ok {
+			fmt.Fprintf(&b, "%s[%s] -> %s\n", t, d.Label(t), e)
+		}
+	}
+	return b.String()
+}
+
+// Valid reports whether t satisfies the EDTD (Definition 4.10): some
+// witness typing exists. The implementation computes, bottom-up, the set
+// of possible types of every node.
+func (d *EDTD) Valid(t *tree.Node) bool {
+	types := d.possibleTypes(t)
+	for s := range d.Start {
+		if types[s] && d.Label(s) == t.Label {
+			return true
+		}
+	}
+	return false
+}
+
+// possibleTypes returns the set of types assignable to the root of t such
+// that the whole subtree admits a valid typing.
+func (d *EDTD) possibleTypes(t *tree.Node) map[string]bool {
+	childSets := make([]map[string]bool, len(t.Children))
+	for i, c := range t.Children {
+		childSets[i] = d.possibleTypes(c)
+	}
+	out := map[string]bool{}
+	for _, typ := range d.Types() {
+		if d.Label(typ) != t.Label {
+			continue
+		}
+		if d.matchesChildren(d.Rule(typ), childSets) {
+			out[typ] = true
+		}
+	}
+	return out
+}
+
+// matchesChildren reports whether some word t1…tn with ti ∈ sets[i] is in
+// L(e) — an NFA simulation where step i may use any type in sets[i].
+func (d *EDTD) matchesChildren(e *regex.Expr, sets []map[string]bool) bool {
+	n := automata.Glushkov(e)
+	cur := map[int]bool{}
+	for _, q := range n.Initial {
+		cur[q] = true
+	}
+	for _, set := range sets {
+		next := map[int]bool{}
+		for q := range cur {
+			for typ, ps := range n.Trans[q] {
+				if !set[typ] {
+					continue
+				}
+				for _, p := range ps {
+					next[p] = true
+				}
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		cur = next
+	}
+	for q := range cur {
+		if n.Final[q] {
+			return true
+		}
+	}
+	return false
+}
+
+// Witness returns a typed tree T^Γ with μ(T^Γ) = t witnessing validity
+// (Definition 4.10), or nil when t is invalid.
+func (d *EDTD) Witness(t *tree.Node) *tree.Node {
+	for s := range d.Start {
+		if d.Label(s) != t.Label {
+			continue
+		}
+		if w := d.typeAs(t, s); w != nil {
+			return w
+		}
+	}
+	return nil
+}
+
+func (d *EDTD) typeAs(t *tree.Node, typ string) *tree.Node {
+	childSets := make([]map[string]bool, len(t.Children))
+	for i, c := range t.Children {
+		childSets[i] = d.possibleTypes(c)
+	}
+	word, ok := d.childWordWitness(d.Rule(typ), childSets)
+	if !ok {
+		return nil
+	}
+	out := tree.New(typ)
+	for i, c := range t.Children {
+		sub := d.typeAs(c, word[i])
+		if sub == nil {
+			return nil
+		}
+		out.Add(sub)
+	}
+	return out
+}
+
+// childWordWitness finds a concrete type word accepted by e with ti ∈
+// sets[i], if any.
+func (d *EDTD) childWordWitness(e *regex.Expr, sets []map[string]bool) ([]string, bool) {
+	n := automata.Glushkov(e)
+	type key struct{ pos, state int }
+	// BFS over (position, state) with parent pointers.
+	type crumb struct {
+		prev key
+		typ  string
+	}
+	from := map[key]crumb{}
+	var queue []key
+	for _, q := range n.Initial {
+		k := key{0, q}
+		from[k] = crumb{prev: key{-1, -1}}
+		queue = append(queue, k)
+	}
+	var final key
+	found := false
+	for len(queue) > 0 && !found {
+		k := queue[0]
+		queue = queue[1:]
+		if k.pos == len(sets) {
+			if n.Final[k.state] {
+				final = k
+				found = true
+			}
+			continue
+		}
+		for typ, ps := range n.Trans[k.state] {
+			if !sets[k.pos][typ] {
+				continue
+			}
+			for _, p := range ps {
+				nk := key{k.pos + 1, p}
+				if _, seen := from[nk]; !seen {
+					from[nk] = crumb{prev: k, typ: typ}
+					queue = append(queue, nk)
+				}
+			}
+		}
+	}
+	if !found {
+		// also allow acceptance when no children and initial state final
+		return nil, false
+	}
+	var word []string
+	for k := final; k.pos > 0; k = from[k].prev {
+		word = append(word, from[k].typ)
+	}
+	for i, j := 0, len(word)-1; i < j; i, j = i+1, j-1 {
+		word[i], word[j] = word[j], word[i]
+	}
+	return word, true
+}
+
+// typeAs requires d.Valid-style acceptance; when sets is empty,
+// childWordWitness must accept iff a final initial state exists — handled
+// by the pos == len(sets) check above.
+
+// IsSingleType reports whether the EDTD is a single-type EDTD
+// (Definition 4.12): no regular expression ρ(t) — and not S either —
+// contains two distinct types with the same label.
+func (d *EDTD) IsSingleType() bool {
+	if !singleTypeSet(keys(d.Start), d) {
+		return false
+	}
+	for _, e := range d.Rules {
+		if !singleTypeSet(e.Alphabet(), d) {
+			return false
+		}
+	}
+	return true
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func singleTypeSet(types []string, d *EDTD) bool {
+	seen := map[string]string{}
+	for _, t := range types {
+		l := d.Label(t)
+		if prev, ok := seen[l]; ok && prev != t {
+			return false
+		}
+		seen[l] = t
+	}
+	return true
+}
+
+// EDCViolations returns, per rule, the pairs of distinct same-label types
+// that violate XML Schema's Element Declarations Consistent constraint
+// (Section 4.3's discussion of Example 4.11).
+func (d *EDTD) EDCViolations() []string {
+	var out []string
+	check := func(where string, types []string) {
+		seen := map[string]string{}
+		for _, t := range types {
+			l := d.Label(t)
+			if prev, ok := seen[l]; ok && prev != t {
+				out = append(out, fmt.Sprintf("%s: types %s and %s share label %s", where, prev, t, l))
+			} else {
+				seen[l] = t
+			}
+		}
+	}
+	check("start", keys(d.Start))
+	for _, t := range d.Types() {
+		if e, ok := d.Rules[t]; ok {
+			check("rule "+t, e.Alphabet())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ValidSingleType validates t against a single-type EDTD by deterministic
+// top-down typing (the reason XML Schema validation is efficiently
+// streamable). It panics if the EDTD is not single-type.
+func (d *EDTD) ValidSingleType(t *tree.Node) bool {
+	if !d.IsSingleType() {
+		panic("edtd: ValidSingleType on non-single-type EDTD")
+	}
+	var rootType string
+	for s := range d.Start {
+		if d.Label(s) == t.Label {
+			rootType = s
+			break
+		}
+	}
+	if rootType == "" {
+		return false
+	}
+	return d.validAs(t, rootType)
+}
+
+func (d *EDTD) validAs(t *tree.Node, typ string) bool {
+	e := d.Rule(typ)
+	// Map each label to its unique type in e (single-type property).
+	typeOf := map[string]string{}
+	for _, ty := range e.Alphabet() {
+		typeOf[d.Label(ty)] = ty
+	}
+	// The children's label word must match μ(e).
+	mu := relabel(e, d.Mu)
+	if !regex.Matches(mu, t.ChildWord()) {
+		return false
+	}
+	for _, c := range t.Children {
+		ct, ok := typeOf[c.Label]
+		if !ok {
+			return false
+		}
+		if !d.validAs(c, ct) {
+			return false
+		}
+	}
+	return true
+}
+
+// relabel applies μ to every symbol of e.
+func relabel(e *regex.Expr, mu map[string]string) *regex.Expr {
+	out := e.Clone()
+	out.Walk(func(x *regex.Expr) {
+		if x.Kind == regex.Symbol {
+			if l, ok := mu[x.Sym]; ok {
+				x.Sym = l
+			}
+		}
+	})
+	return out
+}
+
+// ToDTD builds the candidate DTD obtained by erasing types: for every
+// label a, ρ(a) is the union of μ(ρ(t)) over types t with μ(t) = a; the
+// start labels are μ(S). L(EDTD) ⊆ L(ToDTD) always holds.
+func (d *EDTD) ToDTD() *dtd.DTD {
+	out := dtd.New()
+	byLabel := map[string][]*regex.Expr{}
+	for _, t := range d.Types() {
+		if e, ok := d.Rules[t]; ok {
+			l := d.Label(t)
+			byLabel[l] = append(byLabel[l], relabel(e, d.Mu))
+		}
+	}
+	for l, es := range byLabel {
+		out.AddRule(l, regex.NewUnion(es...))
+	}
+	for s := range d.Start {
+		out.AddStart(d.Label(s))
+	}
+	return out
+}
+
+// StructurallyDTDExpressible reports whether the EDTD is structurally
+// equivalent to a DTD: all (used) types of the same label have
+// language-equivalent label-projected content models. Bex et al.
+// (Section 4.4) found 25 of 30 real-world XSDs in this class; the other
+// five use types genuinely depending on the parent or grandparent label,
+// as in Figure 2a.
+func (d *EDTD) StructurallyDTDExpressible() bool {
+	byLabel := map[string][]*regex.Expr{}
+	for _, t := range d.reachableTypes() {
+		byLabel[d.Label(t)] = append(byLabel[d.Label(t)], relabel(d.Rule(t), d.Mu))
+	}
+	for _, es := range byLabel {
+		for i := 1; i < len(es); i++ {
+			if !automata.Equivalent(es[0], es[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// reachableTypes returns the types reachable from the start types through
+// the rules.
+func (d *EDTD) reachableTypes() []string {
+	seen := map[string]bool{}
+	var stack []string
+	for s := range d.Start {
+		seen[s] = true
+		stack = append(stack, s)
+	}
+	for len(stack) > 0 {
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range d.Rule(t).Alphabet() {
+			if !seen[u] {
+				seen[u] = true
+				stack = append(stack, u)
+			}
+		}
+	}
+	return keys(seen)
+}
+
+// TypeDependencyDepth measures how deep the ancestor context must reach to
+// determine a node's type: 0 when the EDTD is structurally a DTD (type =
+// label), 1 when the parent's label suffices, 2 for grandparents, and -1
+// when deeper context or genuine nondeterminism is needed. Bex et al.
+// observed only values 0..2 in real XSDs (Section 4.4).
+func (d *EDTD) TypeDependencyDepth(maxDepth int) int {
+	if d.StructurallyDTDExpressible() {
+		return 0
+	}
+	for k := 1; k <= maxDepth; k++ {
+		if d.typesDeterminedByContext(k) {
+			return k
+		}
+	}
+	return -1
+}
+
+// typesDeterminedByContext reports whether any two distinct same-label
+// types with non-equivalent content always occur under distinct label
+// contexts of length k (i.e. the k nearest ancestor labels determine the
+// content model).
+func (d *EDTD) typesDeterminedByContext(k int) bool {
+	// compute, per type, the set of label contexts of length ≤ k under
+	// which the type can occur (context = labels of the k nearest
+	// ancestors, nearest first).
+	contexts := map[string]map[string]bool{}
+	for _, t := range d.Types() {
+		contexts[t] = map[string]bool{}
+	}
+	for s := range d.Start {
+		contexts[s][""] = true
+	}
+	// fixpoint propagation
+	for changed := true; changed; {
+		changed = false
+		for _, t := range d.reachableTypes() {
+			for ctx := range contexts[t] {
+				childCtx := pushContext(ctx, d.Label(t), k)
+				for _, u := range d.Rule(t).Alphabet() {
+					if !contexts[u][childCtx] {
+						contexts[u][childCtx] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	// two same-label types with different content must have disjoint contexts
+	types := d.reachableTypes()
+	for i := 0; i < len(types); i++ {
+		for j := i + 1; j < len(types); j++ {
+			a, b := types[i], types[j]
+			if d.Label(a) != d.Label(b) {
+				continue
+			}
+			if automata.Equivalent(relabel(d.Rule(a), d.Mu), relabel(d.Rule(b), d.Mu)) {
+				continue
+			}
+			for ctx := range contexts[a] {
+				if contexts[b][ctx] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func pushContext(ctx, label string, k int) string {
+	parts := []string{label}
+	if ctx != "" {
+		parts = append(parts, strings.Split(ctx, "/")...)
+	}
+	if len(parts) > k {
+		parts = parts[:k]
+	}
+	return strings.Join(parts, "/")
+}

@@ -1,0 +1,182 @@
+// Package graph implements undirected graphs and the treewidth machinery
+// behind two parts of "Towards Theory for Real-World Data": the data-set
+// treewidth study of Maniu, Senellart & Jog (Table 1 — lower and upper
+// bounds for graphs too large for exact computation, which is NP-complete)
+// and the query shape analysis (Table 7 — chains, stars, trees, forests,
+// and treewidth ≤ 2/3 of tiny canonical query graphs, where exact
+// computation is feasible).
+package graph
+
+import "sort"
+
+// Graph is a simple undirected graph over dense integer vertices.
+type Graph struct {
+	n   int
+	adj []map[int]bool
+}
+
+// New returns a graph with n vertices 0..n-1 and no edges.
+func New(n int) *Graph {
+	g := &Graph{n: n, adj: make([]map[int]bool, n)}
+	for i := range g.adj {
+		g.adj[i] = map[int]bool{}
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int {
+	m := 0
+	for _, a := range g.adj {
+		m += len(a)
+	}
+	return m / 2
+}
+
+// AddEdge inserts the undirected edge {u, v}; self-loops are ignored.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v {
+		return
+	}
+	g.adj[u][v] = true
+	g.adj[v][u] = true
+}
+
+// HasEdge reports adjacency.
+func (g *Graph) HasEdge(u, v int) bool { return g.adj[u][v] }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns the sorted neighbors of v.
+func (g *Graph) Neighbors(v int) []int {
+	out := make([]int, 0, len(g.adj[v]))
+	for u := range g.adj[v] {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Clone deep-copies the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for v, a := range g.adj {
+		for u := range a {
+			c.adj[v][u] = true
+		}
+	}
+	return c
+}
+
+// Components returns the connected components as vertex lists.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, g.n)
+	var comps [][]int
+	for v := 0; v < g.n; v++ {
+		if seen[v] {
+			continue
+		}
+		var comp []int
+		stack := []int{v}
+		seen[v] = true
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, x)
+			for u := range g.adj[x] {
+				if !seen[u] {
+					seen[u] = true
+					stack = append(stack, u)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// IsTree reports whether the graph is connected and acyclic. The paper's
+// definition (Section 9.5): for every pair of nodes there is exactly one
+// undirected path.
+func (g *Graph) IsTree() bool {
+	if g.n == 0 {
+		return false
+	}
+	return len(g.Components()) == 1 && g.M() == g.n-1
+}
+
+// IsForest reports whether every connected component is a tree.
+func (g *Graph) IsForest() bool {
+	return g.M() == g.n-len(g.Components())
+}
+
+// IsChain reports whether the graph is a chain in the paper's sense: empty
+// (a single node, length 0) or a simple path visiting all vertices.
+func (g *Graph) IsChain() bool {
+	if g.n == 0 {
+		return false
+	}
+	if !g.IsTree() {
+		return false
+	}
+	deg2 := 0
+	for v := 0; v < g.n; v++ {
+		switch g.Degree(v) {
+		case 0:
+			return g.n == 1
+		case 1:
+		case 2:
+			deg2++
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// IsStar reports whether the graph is a star in the paper's sense: a tree
+// with at most one node having more than two neighbors. (Every chain is a
+// star under this definition? No: a chain has no node with ≥ 3 neighbors,
+// so chains satisfy it trivially — the paper's shape analysis is
+// cumulative, with star ⊇ chain.)
+func (g *Graph) IsStar() bool {
+	if !g.IsTree() {
+		return false
+	}
+	big := 0
+	for v := 0; v < g.n; v++ {
+		if g.Degree(v) >= 3 {
+			big++
+		}
+	}
+	return big <= 1
+}
+
+// HasNoEdge reports an edgeless graph.
+func (g *Graph) HasNoEdge() bool { return g.M() == 0 }
+
+// HasAtMostOneEdge reports ≤ 1 edge.
+func (g *Graph) HasAtMostOneEdge() bool { return g.M() <= 1 }
+
+// InducedSubgraph returns the subgraph induced by vertices (renumbered
+// 0..len-1 in the given order).
+func (g *Graph) InducedSubgraph(vertices []int) *Graph {
+	idx := map[int]int{}
+	for i, v := range vertices {
+		idx[v] = i
+	}
+	sub := New(len(vertices))
+	for i, v := range vertices {
+		for u := range g.adj[v] {
+			if j, ok := idx[u]; ok {
+				sub.AddEdge(i, j)
+			}
+		}
+	}
+	return sub
+}

@@ -1,0 +1,199 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func cycle(n int) *Graph {
+	g := path(n)
+	g.AddEdge(n-1, 0)
+	return g
+}
+
+func clique(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+func star(n int) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, i)
+	}
+	return g
+}
+
+func grid(w, h int) *Graph {
+	g := New(w * h)
+	id := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				g.AddEdge(id(x, y), id(x+1, y))
+			}
+			if y+1 < h {
+				g.AddEdge(id(x, y), id(x, y+1))
+			}
+		}
+	}
+	return g
+}
+
+func TestShapePredicates(t *testing.T) {
+	cases := []struct {
+		name                      string
+		g                         *Graph
+		chain, star, tree, forest bool
+	}{
+		{"single node", New(1), true, true, true, true},
+		{"edge", path(2), true, true, true, true},
+		{"path5", path(5), true, true, true, true},
+		{"star5", star(5), false, true, true, true},
+		{"cycle4", cycle(4), false, false, false, false},
+		{"two components", func() *Graph { g := New(4); g.AddEdge(0, 1); g.AddEdge(2, 3); return g }(), false, false, false, true},
+		{"clique4", clique(4), false, false, false, false},
+		{"empty graph", New(0), false, false, false, true},
+	}
+	for _, c := range cases {
+		if got := c.g.IsChain(); got != c.chain {
+			t.Errorf("%s: IsChain = %v, want %v", c.name, got, c.chain)
+		}
+		if got := c.g.IsStar(); got != c.star {
+			t.Errorf("%s: IsStar = %v, want %v", c.name, got, c.star)
+		}
+		if got := c.g.IsTree(); got != c.tree {
+			t.Errorf("%s: IsTree = %v, want %v", c.name, got, c.tree)
+		}
+		if got := c.g.IsForest(); got != c.forest {
+			t.Errorf("%s: IsForest = %v, want %v", c.name, got, c.forest)
+		}
+	}
+	// a "broom": path with a 3-fan at the end — star but not chain
+	g := path(4)
+	g2 := New(7)
+	for i := 0; i+1 < 4; i++ {
+		g2.AddEdge(i, i+1)
+	}
+	g2.AddEdge(3, 4)
+	g2.AddEdge(3, 5)
+	g2.AddEdge(3, 6)
+	_ = g
+	if g2.IsChain() || !g2.IsStar() {
+		t.Error("broom should be star but not chain")
+	}
+	// two branching nodes: tree but not star
+	g3 := New(8)
+	edges := [][2]int{{0, 1}, {1, 2}, {1, 3}, {1, 4}, {4, 5}, {4, 6}, {4, 7}}
+	for _, e := range edges {
+		g3.AddEdge(e[0], e[1])
+	}
+	if g3.IsStar() || !g3.IsTree() {
+		t.Error("double-branch tree should be tree but not star")
+	}
+}
+
+func TestExactTreewidth(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"single", New(1), 0},
+		{"edge", path(2), 1},
+		{"path10", path(10), 1},
+		{"cycle5", cycle(5), 2},
+		{"clique4", clique(4), 3},
+		{"clique6", clique(6), 5},
+		{"star10", star(10), 1},
+		{"grid3x3", grid(3, 3), 3},
+		{"grid4x4", grid(4, 4), 4},
+	}
+	for _, c := range cases {
+		got, ok := Treewidth(c.g)
+		if !ok {
+			t.Fatalf("%s: undecided", c.name)
+		}
+		if got != c.want {
+			t.Errorf("%s: treewidth = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestTreewidthAtMost(t *testing.T) {
+	if ok, _ := TreewidthAtMost(clique(4), 2); ok {
+		t.Error("K4 has treewidth 3")
+	}
+	if ok, _ := TreewidthAtMost(cycle(6), 2); !ok {
+		t.Error("cycles have treewidth 2")
+	}
+}
+
+func TestBoundsSandwichExact(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	for i := 0; i < 60; i++ {
+		n := 4 + r.Intn(9)
+		g := New(n)
+		for e := 0; e < n+r.Intn(2*n); e++ {
+			g.AddEdge(r.Intn(n), r.Intn(n))
+		}
+		exact, ok := Treewidth(g)
+		if !ok {
+			t.Fatal("small graph undecided")
+		}
+		lb, ub := Bounds(g)
+		if lb > exact || ub < exact {
+			t.Fatalf("bounds [%d,%d] do not sandwich exact %d (n=%d m=%d)", lb, ub, exact, g.N(), g.M())
+		}
+	}
+}
+
+func TestForestsHaveTreewidthOne(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 40; i++ {
+		n := 2 + r.Intn(12)
+		g := New(n)
+		for v := 1; v < n; v++ {
+			if r.Float64() < 0.8 {
+				g.AddEdge(v, r.Intn(v))
+			}
+		}
+		tw, ok := Treewidth(g)
+		if !ok {
+			t.Fatal("undecided")
+		}
+		if g.IsForest() && g.M() > 0 && tw != 1 {
+			t.Fatalf("forest treewidth = %d", tw)
+		}
+		if !g.IsForest() && tw < 2 {
+			t.Fatalf("non-forest treewidth = %d", tw)
+		}
+	}
+}
+
+func TestComponentsAndInduced(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(3, 4)
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("components = %v", comps)
+	}
+	sub := g.InducedSubgraph([]int{0, 1, 3, 4})
+	if sub.M() != 2 || sub.N() != 4 {
+		t.Errorf("induced: n=%d m=%d", sub.N(), sub.M())
+	}
+}

@@ -1,0 +1,136 @@
+// Package graphgen provides deterministic synthetic generators for the
+// graph families of the treewidth study (Maniu, Senellart & Jog; Table 1
+// of "Towards Theory for Real-World Data"): road networks (HongKong,
+// Paris), web-like networks (Wikipedia), communication networks
+// (Gnutella), and hierarchical networks (Royal, a genealogy). The paper's
+// point — road networks have comparatively small treewidth, web-like
+// graphs have treewidth in the thousands (a dense core), hierarchical data
+// is nearly tree-like — is a property of the family, which these
+// generators reproduce at configurable scale.
+package graphgen
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// RoadNetwork generates a perturbed grid: a w×h lattice with a fraction of
+// edges removed and a few diagonal shortcuts — planar-ish, low treewidth
+// (the treewidth of an n×n grid is n, so scale controls the bound).
+func RoadNetwork(r *rand.Rand, w, h int) *graph.Graph {
+	g := graph.New(w * h)
+	id := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w && r.Float64() < 0.93 {
+				g.AddEdge(id(x, y), id(x+1, y))
+			}
+			if y+1 < h && r.Float64() < 0.93 {
+				g.AddEdge(id(x, y), id(x, y+1))
+			}
+			if x+1 < w && y+1 < h && r.Float64() < 0.05 {
+				g.AddEdge(id(x, y), id(x+1, y+1))
+			}
+		}
+	}
+	return g
+}
+
+// WebLike generates a Barabási–Albert preferential-attachment graph with m
+// edges per new vertex — power-law degrees and a dense core, the regime in
+// which Maniu et al. found treewidth bounds in the thousands.
+func WebLike(r *rand.Rand, n, m int) *graph.Graph {
+	g := graph.New(n)
+	if n == 0 {
+		return g
+	}
+	// endpoint pool for preferential attachment
+	var pool []int
+	start := m + 1
+	if start > n {
+		start = n
+	}
+	for v := 0; v < start; v++ {
+		for u := 0; u < v; u++ {
+			g.AddEdge(u, v)
+			pool = append(pool, u, v)
+		}
+	}
+	for v := start; v < n; v++ {
+		added := map[int]bool{}
+		for len(added) < m {
+			var u int
+			if len(pool) > 0 {
+				u = pool[r.Intn(len(pool))]
+			} else {
+				u = r.Intn(v)
+			}
+			if u == v || added[u] {
+				continue
+			}
+			added[u] = true
+			g.AddEdge(u, v)
+			pool = append(pool, u, v)
+		}
+	}
+	return g
+}
+
+// Communication generates a Gnutella-like sparse random graph with a
+// power-law flavor: preferential attachment with m = 2 plus random
+// rewiring — moderately large treewidth relative to its size.
+func Communication(r *rand.Rand, n int) *graph.Graph {
+	g := WebLike(r, n, 2)
+	// random long-range edges increase the core density slightly
+	for i := 0; i < n/10; i++ {
+		g.AddEdge(r.Intn(n), r.Intn(n))
+	}
+	return g
+}
+
+// Genealogy generates a Royal-style hierarchical network: a forest of
+// ancestry trees plus a small fraction of marriage/intermarriage edges —
+// nearly tree-like, treewidth O(1)-ish (Table 1 reports bounds 11–24 on
+// 3k nodes).
+func Genealogy(r *rand.Rand, n int) *graph.Graph {
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		parent := r.Intn(v)
+		g.AddEdge(v, parent)
+	}
+	// marriages between close generations create small cycles
+	for i := 0; i < n/20; i++ {
+		u := r.Intn(n)
+		v := r.Intn(n)
+		g.AddEdge(u, v)
+	}
+	return g
+}
+
+// Dataset pairs a name with a generated graph, mirroring a Table 1 row.
+type Dataset struct {
+	Name  string
+	Graph *graph.Graph
+}
+
+// Table1Datasets generates scaled-down analogues of the five Table 1 rows.
+// scale ≈ 1 yields graphs of a few thousand nodes (Royal is generated at
+// its original ~3k size).
+func Table1Datasets(seed int64, scale float64) []Dataset {
+	r := rand.New(rand.NewSource(seed))
+	dim := func(base int) int {
+		v := int(float64(base) * scale)
+		if v < 4 {
+			v = 4
+		}
+		return v
+	}
+	return []Dataset{
+		{"HongKong", RoadNetwork(r, dim(40), dim(25))},
+		{"Paris", RoadNetwork(r, dim(80), dim(50))},
+		{"Wikipedia", WebLike(r, dim(2500), 10)},
+		{"Gnutella", Communication(r, dim(2000))},
+		{"Royal", Genealogy(r, dim(3000))},
+	}
+}

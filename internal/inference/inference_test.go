@@ -1,0 +1,240 @@
+package inference
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/chare"
+	"repro/internal/determinism"
+	"repro/internal/kore"
+	"repro/internal/regex"
+)
+
+func sample(ws ...string) Sample {
+	var s Sample
+	for _, w := range ws {
+		if w == "" {
+			s = append(s, []string{})
+		} else {
+			s = append(s, strings.Fields(w))
+		}
+	}
+	return s
+}
+
+func TestBuildSOA(t *testing.T) {
+	soa := BuildSOA(sample("a b", "a b b", ""))
+	for _, w := range sample("a b", "a b b", "", "a b b b") {
+		if !soa.Accepts(w) {
+			t.Errorf("SOA rejects %v", w)
+		}
+	}
+	for _, w := range sample("b", "a", "b a") {
+		if soa.Accepts(w) {
+			t.Errorf("SOA accepts %v", w)
+		}
+	}
+}
+
+func TestInferSOREContainsSample(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	g := regex.DefaultGen([]string{"a", "b", "c", "d"})
+	for i := 0; i < 150; i++ {
+		e := g.Random(r)
+		var s Sample
+		for j := 0; j < 8; j++ {
+			if w, ok := regex.RandomWord(e, r); ok {
+				s = append(s, w)
+			}
+		}
+		if len(s) == 0 {
+			continue
+		}
+		got := InferSORE(s)
+		if !kore.IsSORE(got) {
+			t.Fatalf("InferSORE produced non-SORE %q", got)
+		}
+		for _, w := range s {
+			if !regex.Matches(got, w) {
+				t.Fatalf("InferSORE(%v) = %q does not contain sample word %v", s, got, w)
+			}
+		}
+	}
+}
+
+func TestInferSOREExact(t *testing.T) {
+	// Simple SORE-definable samples should be recovered exactly
+	// (language-equivalent).
+	cases := []struct {
+		s    Sample
+		want string
+	}{
+		{sample("a b", "a", "a b b"), "a b*"},
+		{sample("a", "b"), "a + b"},
+		{sample("a a", "a", "a a a"), "a+"},
+		{sample("a b c"), "a b c"},
+		{sample("a c", "a b c"), "a b? c"},
+	}
+	for _, c := range cases {
+		got := InferSORE(c.s)
+		if !automata.Equivalent(got, regex.MustParse(c.want)) {
+			t.Errorf("InferSORE(%v) = %q, want ≡ %q", c.s, got, c.want)
+		}
+	}
+}
+
+func TestCharacteristicSampleRecoversSORE(t *testing.T) {
+	// Theorem 4.9 in action for k = 1: from the characteristic sample,
+	// InferSORE recovers the expression up to language equivalence.
+	targets := []string{
+		"a b* c",
+		"(a + b)+ c?",
+		"a? b? c?",
+		"a (b + c)* d",
+		"person*",
+		"name birthplace",
+		"city state country?",
+		"(a + b) (c + d)+",
+	}
+	for _, s := range targets {
+		e := regex.MustParse(s)
+		if !kore.IsSORE(e) {
+			t.Fatalf("target %q is not a SORE", s)
+		}
+		cs := CharacteristicSample(e)
+		for _, w := range cs {
+			if !regex.Matches(e, w) {
+				t.Fatalf("characteristic sample word %v outside L(%q)", w, s)
+			}
+		}
+		got := InferSORE(cs)
+		if !automata.Equivalent(got, e) {
+			t.Errorf("InferSORE(CharacteristicSample(%q)) = %q, not equivalent", s, got)
+		}
+	}
+}
+
+func TestCharacteristicSampleMonotone(t *testing.T) {
+	// Definition 4.7(2): any sample between the characteristic sample and
+	// the language still recovers the target.
+	e := regex.MustParse("a b* c")
+	cs := CharacteristicSample(e)
+	extra := sample("a b b b b c", "a b b b c")
+	s := append(append(Sample{}, cs...), extra...)
+	got := InferSORE(s)
+	if !automata.Equivalent(got, e) {
+		t.Errorf("extended sample changed result to %q", got)
+	}
+}
+
+func TestGoldStyleNonLearnability(t *testing.T) {
+	// Theorem 4.8 (deterministic REs are not learnable from positive data)
+	// manifests concretely: b* a and its sub-language {a} cannot be
+	// distinguished by any finite positive sample of {a} — the inferred
+	// expression for S = {a} must already decide, and adding more b*a words
+	// switches the answer. We check that our learner is at least
+	// *consistent* (sample-containing) on both, which is all positive data
+	// allows.
+	s1 := sample("a")
+	s2 := sample("a", "b a", "b b a")
+	e1, e2 := InferSORE(s1), InferSORE(s2)
+	for _, w := range s1 {
+		if !regex.Matches(e1, w) {
+			t.Errorf("e1 misses %v", w)
+		}
+	}
+	for _, w := range s2 {
+		if !regex.Matches(e2, w) {
+			t.Errorf("e2 misses %v", w)
+		}
+	}
+	if automata.Equivalent(e1, e2) {
+		t.Errorf("learner cannot converge on both: %q vs %q", e1, e2)
+	}
+}
+
+func TestInferCHAREShape(t *testing.T) {
+	cases := []struct {
+		s Sample
+	}{
+		{sample("a b c", "a c", "a b b c")},
+		{sample("x y", "y x", "x y x")},
+		{sample("a", "")},
+		{sample("m n o p")},
+	}
+	for _, c := range cases {
+		e := InferCHARE(c.s)
+		if !chare.IsCHARE(e) {
+			t.Fatalf("InferCHARE(%v) = %q is not a CHARE", c.s, e)
+		}
+		if !kore.IsSORE(e) {
+			t.Fatalf("InferCHARE(%v) = %q is not a SORE", c.s, e)
+		}
+		for _, w := range c.s {
+			if !regex.Matches(e, w) {
+				t.Fatalf("InferCHARE(%v) = %q misses %v", c.s, e, w)
+			}
+		}
+	}
+}
+
+func TestInferCHAREExamples(t *testing.T) {
+	e := InferCHARE(sample("a b c", "a c", "a b b c"))
+	want := regex.MustParse("a b* c")
+	if !automata.Equivalent(e, want) {
+		t.Errorf("InferCHARE = %q, want ≡ %q", e, want)
+	}
+	e2 := InferCHARE(sample("x y", "y x", "x y x"))
+	want2 := regex.MustParse("(x + y)+")
+	if !automata.Equivalent(e2, want2) {
+		t.Errorf("InferCHARE = %q, want ≡ %q", e2, want2)
+	}
+}
+
+func TestInferKORE(t *testing.T) {
+	// Language a b a (symbol a twice) is not SORE-definable exactly; the
+	// 2-ORE learner recovers it.
+	s := sample("a b a")
+	e1 := InferSORE(s)
+	e2 := InferKORE(s, 2)
+	if got := e2.MaxOccurrences(); got > 2 {
+		t.Fatalf("InferKORE(2) produced %d-ORE %q", got, e2)
+	}
+	for _, w := range s {
+		if !regex.Matches(e1, w) || !regex.Matches(e2, w) {
+			t.Fatal("k-ORE learners miss the sample")
+		}
+	}
+	if !automata.Equivalent(e2, regex.MustParse("a b a")) {
+		t.Errorf("InferKORE(2) = %q, want ≡ a b a", e2)
+	}
+	// The SORE learner must over-generalize here.
+	if automata.Equivalent(e1, regex.MustParse("a b a")) {
+		t.Errorf("SORE learner cannot be exact on a b a, got %q", e1)
+	}
+}
+
+func TestInferBestKORE(t *testing.T) {
+	s := sample("a b a", "a a")
+	e, k := InferBestKORE(s, 3, determinism.IsDeterministic)
+	if !determinism.IsDeterministic(e) {
+		t.Errorf("InferBestKORE returned non-deterministic %q (k=%d)", e, k)
+	}
+	for _, w := range s {
+		if !regex.Matches(e, w) {
+			t.Errorf("result %q misses %v", e, w)
+		}
+	}
+}
+
+func TestInferEmptyAndEpsilon(t *testing.T) {
+	if e := InferSORE(nil); e.Kind != regex.Empty {
+		t.Errorf("InferSORE(∅ sample) = %q", e)
+	}
+	e := InferSORE(sample(""))
+	if !regex.Matches(e, nil) {
+		t.Errorf("InferSORE({ε}) = %q does not accept ε", e)
+	}
+}

@@ -1,0 +1,129 @@
+// Package jsonlite converts JSON documents into the node-labeled tree
+// abstraction of Section 3 (Figure 1b/1c): object keys become labeled
+// child nodes and array elements become children of their array's node.
+// As Example 3.1 notes, there is no single "correct" way to model JSON as
+// node-labeled trees; this package takes the same choices as the paper's
+// figure — data values are projected away, and anonymous array elements
+// get a configurable item label.
+package jsonlite
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/tree"
+)
+
+// Options configures the JSON→tree mapping.
+type Options struct {
+	// RootLabel labels the document root (Figure 1 uses the top-level key
+	// "persons" under an implicit root; default "$").
+	RootLabel string
+	// ItemLabel labels anonymous array elements (default "item").
+	ItemLabel string
+	// KeepValues adds leaf nodes for scalar values when true; Figure 1c
+	// omits them ("one could also add nodes that are labeled with the data
+	// values"), so the default is false.
+	KeepValues bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.RootLabel == "" {
+		o.RootLabel = "$"
+	}
+	if o.ItemLabel == "" {
+		o.ItemLabel = "item"
+	}
+	return o
+}
+
+// Parse converts a JSON document to a labeled tree. Object key order is
+// preserved (JSON objects are unordered in principle — Section 3 notes the
+// mix of ordered arrays and unordered objects "is not crucial for this
+// paper" — but preserving input order keeps the mapping deterministic).
+func Parse(doc string, opts Options) (*tree.Node, error) {
+	opts = opts.withDefaults()
+	dec := json.NewDecoder(strings.NewReader(doc))
+	dec.UseNumber()
+	root := tree.New(opts.RootLabel)
+	if err := decodeValue(dec, root, opts); err != nil {
+		return nil, err
+	}
+	// trailing garbage?
+	if dec.More() {
+		return nil, fmt.Errorf("jsonlite: trailing content after document")
+	}
+	return root, nil
+}
+
+// MustParse panics on error; for tests and examples.
+func MustParse(doc string, opts Options) *tree.Node {
+	t, err := Parse(doc, opts)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// decodeValue decodes the next JSON value, attaching its structure to
+// parent.
+func decodeValue(dec *json.Decoder, parent *tree.Node, opts Options) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return fmt.Errorf("jsonlite: %v", err)
+	}
+	switch t := tok.(type) {
+	case json.Delim:
+		switch t {
+		case '{':
+			for dec.More() {
+				keyTok, err := dec.Token()
+				if err != nil {
+					return fmt.Errorf("jsonlite: %v", err)
+				}
+				key, ok := keyTok.(string)
+				if !ok {
+					return fmt.Errorf("jsonlite: non-string object key %v", keyTok)
+				}
+				child := tree.New(key)
+				parent.Add(child)
+				if err := decodeValue(dec, child, opts); err != nil {
+					return err
+				}
+			}
+			if _, err := dec.Token(); err != nil { // consume '}'
+				return fmt.Errorf("jsonlite: %v", err)
+			}
+		case '[':
+			for dec.More() {
+				child := tree.New(opts.ItemLabel)
+				parent.Add(child)
+				if err := decodeValue(dec, child, opts); err != nil {
+					return err
+				}
+			}
+			if _, err := dec.Token(); err != nil { // consume ']'
+				return fmt.Errorf("jsonlite: %v", err)
+			}
+		default:
+			return fmt.Errorf("jsonlite: unexpected delimiter %v", t)
+		}
+	default:
+		// scalar: string, json.Number, bool, nil
+		if opts.KeepValues {
+			parent.Add(tree.New(fmt.Sprintf("%v", tok)))
+		}
+	}
+	return nil
+}
+
+// Figure1JSON is the JSON document of Figure 1b.
+const Figure1JSON = `{
+  "persons": [
+    { "name": "Aretha",
+      "birthplace": { "city": "Memphis", "state": "Tennessee", "country": "United States" } },
+    { "name": "Johann Sebastian",
+      "birthplace": { "city": "Eisenach", "state": "Thuringia" } }
+  ]
+}`

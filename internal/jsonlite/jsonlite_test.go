@@ -1,0 +1,79 @@
+package jsonlite
+
+import (
+	"testing"
+
+	"repro/internal/tree"
+)
+
+func TestParseFigure1(t *testing.T) {
+	tr := MustParse(Figure1JSON, Options{ItemLabel: "person"})
+	want := tree.MustParse("$(persons(person(name, birthplace(city, state, country)), person(name, birthplace(city, state))))")
+	if !tr.Equal(want) {
+		t.Errorf("tree = %v\nwant %v", tr, want)
+	}
+}
+
+func TestOptions(t *testing.T) {
+	doc := `{"items": [1, 2]}`
+	tr := MustParse(doc, Options{})
+	if tr.Label != "$" || tr.Children[0].Label != "items" {
+		t.Errorf("defaults: %v", tr)
+	}
+	if len(tr.Children[0].Children) != 2 || tr.Children[0].Children[0].Label != "item" {
+		t.Errorf("array items: %v", tr)
+	}
+	tr2 := MustParse(doc, Options{RootLabel: "doc", ItemLabel: "el"})
+	if tr2.Label != "doc" || tr2.Children[0].Children[0].Label != "el" {
+		t.Errorf("custom labels: %v", tr2)
+	}
+	// KeepValues adds value leaves
+	tr3 := MustParse(`{"a": "x"}`, Options{KeepValues: true})
+	if tr3.Children[0].Children[0].Label != "x" {
+		t.Errorf("KeepValues: %v", tr3)
+	}
+	// default drops scalar values (Figure 1c omits them)
+	tr4 := MustParse(`{"a": "x"}`, Options{})
+	if len(tr4.Children[0].Children) != 0 {
+		t.Errorf("values should be dropped: %v", tr4)
+	}
+}
+
+func TestScalarsAndNesting(t *testing.T) {
+	tr := MustParse(`{"a": {"b": [true, null, 3.5]}}`, Options{})
+	// $ → a → b → item,item,item
+	b := tr.Children[0].Children[0]
+	if b.Label != "b" || len(b.Children) != 3 {
+		t.Errorf("tree = %v", tr)
+	}
+	if tr.Depth() != 4 {
+		t.Errorf("depth = %d", tr.Depth())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"{",
+		`{"a": }`,
+		`{"a": 1} trailing`,
+		`{"a": 1, "a"}`,
+		`[1, 2`,
+		`{1: 2}`,
+	} {
+		if _, err := Parse(bad, Options{}); err == nil {
+			t.Errorf("Parse(%q): expected error", bad)
+		}
+	}
+}
+
+func TestTopLevelArrayAndScalar(t *testing.T) {
+	tr := MustParse(`[{"x": 1}, {"y": 2}]`, Options{})
+	if len(tr.Children) != 2 || tr.Children[0].Children[0].Label != "x" {
+		t.Errorf("top-level array: %v", tr)
+	}
+	tr2 := MustParse(`42`, Options{})
+	if len(tr2.Children) != 0 {
+		t.Errorf("scalar document: %v", tr2)
+	}
+}

@@ -1,0 +1,271 @@
+package jsonschema
+
+import "sort"
+
+// This file implements the structural analyses of the two JSON Schema
+// corpus studies quoted in Section 4.5.
+
+// IsRecursive reports whether the schema is recursive: following $ref
+// edges from the root (through properties, items, combinators and
+// definitions) reaches a cycle. Maiwald et al. found 26 recursive schemas
+// among 159.
+func (s *Schema) IsRecursive() bool {
+	// Build the reference graph over definition names (plus "#").
+	// A schema is recursive iff some definition reachable from the root can
+	// reach itself.
+	reach := s.refTargets()
+	// nodes: "#" plus definition names
+	var nodes []string
+	nodes = append(nodes, "#")
+	for name := range s.Definitions {
+		nodes = append(nodes, name)
+	}
+	for _, n := range nodes {
+		if reachesSelf(reach, n) {
+			return true
+		}
+	}
+	return false
+}
+
+// refTargets maps each node ("#" or definition name) to the set of
+// definition nodes its body references.
+func (s *Schema) refTargets() map[string][]string {
+	out := map[string][]string{}
+	collect := func(node string, body *Schema) {
+		set := map[string]bool{}
+		var visit func(x *Schema)
+		visit = func(x *Schema) {
+			if x == nil {
+				return
+			}
+			if x.Ref != "" {
+				set[refName(x.Ref)] = true
+			}
+			for _, sub := range x.Properties {
+				visit(sub)
+			}
+			visit(x.Items)
+			visit(x.Not)
+			for _, sub := range x.AllOf {
+				visit(sub)
+			}
+			for _, sub := range x.AnyOf {
+				visit(sub)
+			}
+			for _, sub := range x.OneOf {
+				visit(sub)
+			}
+			// nested definitions are hoisted to the root in this fragment
+		}
+		visit(body)
+		var ts []string
+		for t := range set {
+			ts = append(ts, t)
+		}
+		sort.Strings(ts)
+		out[node] = ts
+	}
+	rootBody := *s
+	rootBody.Definitions = nil
+	collect("#", &rootBody)
+	for name, def := range s.Definitions {
+		collect(name, def)
+	}
+	return out
+}
+
+func refName(ref string) string {
+	for _, prefix := range []string{"#/definitions/", "#/$defs/"} {
+		if len(ref) > len(prefix) && ref[:len(prefix)] == prefix {
+			return ref[len(prefix):]
+		}
+	}
+	return "#"
+}
+
+func reachesSelf(g map[string][]string, start string) bool {
+	seen := map[string]bool{}
+	stack := append([]string(nil), g[start]...)
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if x == start {
+			return true
+		}
+		if seen[x] {
+			continue
+		}
+		seen[x] = true
+		stack = append(stack, g[x]...)
+	}
+	return false
+}
+
+// MaxNestingDepth returns the maximal nesting depth of documents the
+// schema describes (1 for a scalar schema, +1 per object/array level), or
+// (0, false) for recursive schemas. Maiwald et al. measured depths 3–43
+// with average 11 on non-recursive real-world schemas.
+func (s *Schema) MaxNestingDepth() (int, bool) {
+	if s.IsRecursive() {
+		return 0, false
+	}
+	var depth func(x *Schema) int
+	depth = func(x *Schema) int {
+		if x == nil {
+			return 0
+		}
+		if x.Ref != "" {
+			if t, err := s.resolve(x.Ref); err == nil {
+				return depth(t)
+			}
+			return 1
+		}
+		best := 1
+		consider := func(d int) {
+			if d > best {
+				best = d
+			}
+		}
+		for _, sub := range x.Properties {
+			consider(1 + depth(sub))
+		}
+		if x.Items != nil {
+			consider(1 + depth(x.Items))
+		}
+		for _, sub := range x.AllOf {
+			consider(depth(sub))
+		}
+		for _, sub := range x.AnyOf {
+			consider(depth(sub))
+		}
+		for _, sub := range x.OneOf {
+			consider(depth(sub))
+		}
+		if x.Not != nil {
+			consider(depth(x.Not))
+		}
+		return best
+	}
+	return depth(s), true
+}
+
+// UsesNegation reports whether "not" occurs anywhere in the schema —
+// the feature Baazizi et al. found in 2.6% of 11.5k real schemas, often as
+// a workaround (e.g. "forbidden" as not-required, implication as ¬x ∨ y).
+func (s *Schema) UsesNegation() bool {
+	found := false
+	var visit func(x *Schema)
+	visit = func(x *Schema) {
+		if x == nil || found {
+			return
+		}
+		if x.Not != nil {
+			found = true
+			return
+		}
+		for _, sub := range x.Properties {
+			visit(sub)
+		}
+		visit(x.Items)
+		for _, sub := range x.AllOf {
+			visit(sub)
+		}
+		for _, sub := range x.AnyOf {
+			visit(sub)
+		}
+		for _, sub := range x.OneOf {
+			visit(sub)
+		}
+		for _, sub := range x.Definitions {
+			visit(sub)
+		}
+	}
+	visit(s)
+	return found
+}
+
+// IsSchemaFull reports whether the schema explicitly uses schema-full mode
+// somewhere (additionalProperties: false) — 8 of Maiwald et al.'s 159
+// schemas did; JSON Schema is schema-mixed by default, in stark contrast
+// with DTDs (where ANY appeared in only 1 of 103 schemas, Section 4.5).
+func (s *Schema) IsSchemaFull() bool {
+	found := false
+	var visit func(x *Schema)
+	visit = func(x *Schema) {
+		if x == nil || found {
+			return
+		}
+		if x.AdditionalProperties != nil && !*x.AdditionalProperties {
+			found = true
+			return
+		}
+		for _, sub := range x.Properties {
+			visit(sub)
+		}
+		visit(x.Items)
+		visit(x.Not)
+		for _, sub := range x.AllOf {
+			visit(sub)
+		}
+		for _, sub := range x.AnyOf {
+			visit(sub)
+		}
+		for _, sub := range x.OneOf {
+			visit(sub)
+		}
+		for _, sub := range x.Definitions {
+			visit(sub)
+		}
+	}
+	visit(s)
+	return found
+}
+
+// StudyResult aggregates a schema-corpus analysis in the shape of the
+// Section 4.5 studies.
+type StudyResult struct {
+	Total       int
+	Recursive   int
+	Depths      []int // nesting depths of the non-recursive schemas
+	NegationUse int
+	SchemaFull  int
+}
+
+// AverageDepth returns the mean nesting depth of non-recursive schemas.
+func (r *StudyResult) AverageDepth() float64 {
+	if len(r.Depths) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, d := range r.Depths {
+		sum += d
+	}
+	return float64(sum) / float64(len(r.Depths))
+}
+
+// RunStudy analyzes a corpus of schema documents; unparsable documents are
+// skipped (real corpora contain errors, cf. Sahuguet's observation for
+// DTDs).
+func RunStudy(docs []string) *StudyResult {
+	res := &StudyResult{}
+	for _, doc := range docs {
+		s, err := Parse(doc)
+		if err != nil {
+			continue
+		}
+		res.Total++
+		if s.IsRecursive() {
+			res.Recursive++
+		} else if d, ok := s.MaxNestingDepth(); ok {
+			res.Depths = append(res.Depths, d)
+		}
+		if s.UsesNegation() {
+			res.NegationUse++
+		}
+		if s.IsSchemaFull() {
+			res.SchemaFull++
+		}
+	}
+	return res
+}

@@ -1,0 +1,224 @@
+// Package loggen generates synthetic SPARQL query logs that stand in for
+// the proprietary corpora of Table 2 in "Towards Theory for Real-World
+// Data" (DBpedia 2009–2017, LinkedGeoData, BioPortal, BioMed, SWDF, the
+// British Museum, and the robotic/organic × OK/timeout Wikidata logs —
+// 558M queries in total).
+//
+// Each source has a generative model calibrated to the paper's reported
+// marginals: total/valid/unique counts (Table 2), the triple-count
+// distribution (Figure 3), per-feature usage rates (Table 3), query shapes
+// (Tables 6 and 7) and property-path types (Table 8). The generator emits
+// raw query STRINGS — including syntactically invalid ones and duplicates —
+// which the analysis pipeline (internal/core) pushes through the real
+// parser and the real analyzers; no analysis result is ever read off the
+// calibration constants.
+package loggen
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// FeatureRates holds per-query usage probabilities (Table 3's RelativeV
+// column interpreted as independent marginals).
+type FeatureRates struct {
+	Distinct, Limit, Offset, OrderBy, Filter float64
+	Optional, Union, Graph, Values           float64
+	NotExists, Minus, Exists                 float64
+	GroupBy, Count, Having, Agg              float64
+	Service, PropertyPath                    float64
+}
+
+// Source is one row of Table 2 with its generative model.
+type Source struct {
+	Name string
+	// Paper counts (Table 2).
+	PaperTotal, PaperValid, PaperUnique int
+	// Wikidata switches the vocabulary and the feature regime.
+	Wikidata bool
+	// Robotic marks the Wikidata robot logs (PP types from Table 8).
+	Robotic bool
+	// TripleWeights[i] is the relative weight of queries with i triple
+	// patterns, i = 0..11 (the last entry covers 11+, cf. Figure 3).
+	TripleWeights []float64
+	// BigQueryRate is the probability of a 100–230-triple outlier
+	// (Section 9.3 reports such queries in DBpedia15–17 and BioMed13).
+	BigQueryRate float64
+	Feat         FeatureRates
+}
+
+// InvalidRate returns 1 − Valid/Total from the paper's Table 2 counts.
+func (s *Source) InvalidRate() float64 {
+	if s.PaperTotal == 0 {
+		return 0
+	}
+	return 1 - float64(s.PaperValid)/float64(s.PaperTotal)
+}
+
+// UniqueRate returns Unique/Valid from Table 2: the probability that a
+// valid query is fresh rather than a replay of an earlier one.
+func (s *Source) UniqueRate() float64 {
+	if s.PaperValid == 0 {
+		return 0
+	}
+	return float64(s.PaperUnique) / float64(s.PaperValid)
+}
+
+// dbpediaTriples approximates the Figure 3 left-group distribution: ~51%
+// of queries with ≤ 1 triple pattern, ~66% with ≤ 2.
+var dbpediaTriples = []float64{4, 48, 15, 9, 6, 5, 4, 3, 2, 1.5, 1.5, 1}
+
+// wikidataRobotTriples is even more skewed to 1–2 triples.
+var wikidataRobotTriples = []float64{3, 56, 18, 9, 5, 3, 2, 1.5, 1, 0.7, 0.5, 0.3}
+
+// wikidataOrganicTriples has visibly more triples (Figure 3: organic
+// queries tend to have more triple patterns than robotic ones).
+var wikidataOrganicTriples = []float64{2, 28, 20, 14, 10, 8, 6, 4, 3, 2, 1.5, 1.5}
+
+// britMTriples: BritM14 is "a collection of queries with fixed templates"
+// (Section 9.3) — few distinct sizes.
+var britMTriples = []float64{0, 10, 60, 0, 30, 0, 0, 0, 0, 0, 0, 0}
+
+// bioTriples: BioPortal-style logs dominated by 1-triple lookups.
+var bioTriples = []float64{2, 75, 12, 5, 3, 1, 0.7, 0.5, 0.3, 0.2, 0.2, 0.1}
+
+var dbpediaFeat = FeatureRates{
+	Distinct: 0.298, Limit: 0.144, Offset: 0.027, OrderBy: 0.011,
+	Filter: 0.46, Optional: 0.334, Union: 0.264, Graph: 0.086,
+	Values: 0.024, NotExists: 0.008, Minus: 0.007, Exists: 0.0001,
+	GroupBy: 0.028, Count: 0.003, Having: 0.0006, Agg: 0.0001,
+	Service: 0.00001, PropertyPath: 0.0044,
+}
+
+var wikidataFeat = FeatureRates{
+	Distinct: 0.077, Limit: 0.185, Offset: 0.067, OrderBy: 0.088,
+	Filter: 0.178, Optional: 0.153, Union: 0.092, Graph: 0.0,
+	Values: 0.32, NotExists: 0.002, Minus: 0.009, Exists: 0.0005,
+	GroupBy: 0.004, Count: 0.0002, Having: 0.0001, Agg: 0.0001,
+	Service: 0.084, PropertyPath: 0.39,
+}
+
+// Sources returns the 17 log sources of Table 2 with calibrated models.
+func Sources() []Source {
+	dbp := func(name string, total, valid, unique int) Source {
+		return Source{Name: name, PaperTotal: total, PaperValid: valid,
+			PaperUnique: unique, TripleWeights: dbpediaTriples, Feat: dbpediaFeat}
+	}
+	out := []Source{
+		dbp("DBpedia9-12", 28651075, 27622233, 13437966),
+		dbp("DBpedia13", 5243853, 4819837, 2628000),
+		dbp("DBpedia14", 37219788, 33996486, 17217416),
+		dbp("DBpedia15", 43478986, 42709781, 13253798),
+		dbp("DBpedia16", 15098176, 14687870, 4369755),
+		dbp("DBpedia17", 169110041, 164297723, 34440636),
+		dbp("LGD13", 1927695, 1531164, 357843),
+		dbp("LGD14", 1999961, 1951973, 628640),
+		dbp("BioP13", 4627270, 4624449, 687773),
+		dbp("BioP14", 26438932, 26404716, 2191151),
+		dbp("BioMed13", 883375, 882847, 27030),
+		dbp("SWDF13", 13853604, 13670550, 1229759),
+		dbp("BritM14", 1555940, 1545643, 135112),
+	}
+	out[8].TripleWeights = bioTriples // BioP13
+	out[9].TripleWeights = bioTriples // BioP14
+	out[12].TripleWeights = britMTriples
+	out[5].BigQueryRate = 0.00012 // DBpedia17's 105-triple outlier family
+	out[3].BigQueryRate = 0.00001
+	out[10].BigQueryRate = 0.0001 // BioMed13
+	out = append(out,
+		Source{Name: "WikiRobot/OK", PaperTotal: 207538912, PaperValid: 207498419,
+			PaperUnique: 34527051, Wikidata: true, Robotic: true,
+			TripleWeights: wikidataRobotTriples, Feat: wikidataFeat},
+		Source{Name: "WikiOrganic/OK", PaperTotal: 676297, PaperValid: 665472,
+			PaperUnique: 260723, Wikidata: true,
+			TripleWeights: wikidataOrganicTriples, Feat: wikidataFeat},
+		Source{Name: "WikiRobot/TO", PaperTotal: 33616, PaperValid: 33465,
+			PaperUnique: 3168, Wikidata: true, Robotic: true,
+			TripleWeights: wikidataOrganicTriples, Feat: wikidataFeat},
+		Source{Name: "WikiOrganic/TO", PaperTotal: 14528, PaperValid: 14087,
+			PaperUnique: 8729, Wikidata: true,
+			TripleWeights: wikidataOrganicTriples, Feat: wikidataFeat},
+	)
+	return out
+}
+
+// Gen produces query strings for one source.
+type Gen struct {
+	Source Source
+	r      *rand.Rand
+	// bag is a weighted replay reservoir: fresh queries enter once per
+	// replication weight, so templated robotic queries (a*-style paths,
+	// simple lookups) dominate the Valid multiset while the Unique set
+	// keeps the fresh distribution — exactly the Valid-vs-Unique skew the
+	// paper reports for Table 8 ("the relative percentages differ
+	// drastically between the Valid and the Unique queries").
+	bag []string
+	// freshWeight is set by the query builder per fresh query: a*-family
+	// bot templates ≈ 20, other iterated paths ≈ 4, sequence paths ≈ 1,
+	// non-path lookups ≈ 7 (matching the per-row Valid/Unique ratios of
+	// Table 8 and the 24.03%/38.94% property-path rates of Table 3).
+	freshWeight int
+}
+
+const bagSize = 8192
+
+// NewGen returns a deterministic generator for the source.
+func NewGen(s Source, seed int64) *Gen {
+	return &Gen{Source: s, r: rand.New(rand.NewSource(seed))}
+}
+
+// Count returns the number of queries this source emits at the given
+// scale divisor (e.g. 1000 → 1:1000 of the paper's corpus).
+func (g *Gen) Count(scaleDiv int) int {
+	n := g.Source.PaperTotal / scaleDiv
+	if n < 50 {
+		n = 50
+	}
+	return n
+}
+
+// Next emits one raw query string (possibly invalid, possibly a
+// duplicate).
+func (g *Gen) Next() string {
+	// duplicates first: a non-unique valid query replays a bag entry
+	if len(g.bag) > 0 && g.r.Float64() > g.Source.UniqueRate() {
+		q := g.bag[g.r.Intn(len(g.bag))]
+		if g.r.Float64() < g.Source.InvalidRate() {
+			return g.corrupt(q)
+		}
+		return q
+	}
+	g.freshWeight = 14 // default: plain lookups replay heavily (bot polling)
+	q := g.fresh()
+	for w := g.freshWeight; w > 0; w-- {
+		if len(g.bag) < bagSize {
+			g.bag = append(g.bag, q)
+		} else {
+			g.bag[g.r.Intn(bagSize)] = q
+		}
+	}
+	if g.r.Float64() < g.Source.InvalidRate() {
+		return g.corrupt(q)
+	}
+	return q
+}
+
+// corrupt damages a query so it no longer parses.
+func (g *Gen) corrupt(q string) string {
+	switch g.r.Intn(4) {
+	case 0:
+		if i := strings.LastIndexByte(q, '}'); i >= 0 {
+			return q[:i]
+		}
+		return q + " {"
+	case 1:
+		return strings.Replace(q, "WHERE", "WHRE", 1)
+	case 2:
+		if i := strings.IndexByte(q, '?'); i >= 0 {
+			return q[:i+1] + " " + q[i+1:]
+		}
+		return "?" + q
+	default:
+		return q + " }"
+	}
+}

@@ -1,0 +1,266 @@
+package propertypath
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/automata"
+	"repro/internal/chare"
+	"repro/internal/regex"
+)
+
+// ToRegex converts the property path to a regular expression over the
+// atom alphabet: a forward atom wdt:P31 becomes the symbol "wdt:P31", an
+// inverse atom becomes "^wdt:P31", and a negated property set becomes a
+// single fresh symbol (the standard 2RPQ abstraction over the extended
+// alphabet Σ ∪ Σ⁻).
+func ToRegex(p *Path) *regex.Expr {
+	switch p.Kind {
+	case IRI:
+		return regex.NewSymbol(p.IRI)
+	case Inverse:
+		inner := ToRegex(p.Sub())
+		out := inner.Clone()
+		out.Walk(func(x *regex.Expr) {
+			if x.Kind == regex.Symbol {
+				if strings.HasPrefix(x.Sym, "^") {
+					x.Sym = x.Sym[1:]
+				} else {
+					x.Sym = "^" + x.Sym
+				}
+			}
+		})
+		return out
+	case NegSet:
+		var parts []string
+		parts = append(parts, p.Neg...)
+		for _, x := range p.NegInv {
+			parts = append(parts, "^"+x)
+		}
+		sort.Strings(parts)
+		return regex.NewSymbol("!(" + strings.Join(parts, "|") + ")")
+	case Seq:
+		subs := make([]*regex.Expr, len(p.Subs))
+		for i, s := range p.Subs {
+			subs[i] = ToRegex(s)
+		}
+		return regex.NewConcat(subs...)
+	case Alt:
+		subs := make([]*regex.Expr, len(p.Subs))
+		for i, s := range p.Subs {
+			subs[i] = ToRegex(s)
+		}
+		return regex.NewUnion(subs...)
+	case Star:
+		return regex.NewStar(ToRegex(p.Sub()))
+	case Plus:
+		return regex.NewPlus(ToRegex(p.Sub()))
+	case Opt:
+		return regex.NewOpt(ToRegex(p.Sub()))
+	}
+	panic("propertypath: unknown kind")
+}
+
+// IsSimpleTransitive implements the simple transitive expressions of
+// Martens & Trautner (Section 9.6): expressions of the shape
+// T1 · A* · T2 (or with A⁺, or with no transitive part at all), where T1
+// and T2 are sequences of bounded factors — atoms or disjunctions of
+// atoms, possibly with ? — and A is a disjunction of atoms. At most one
+// transitive factor is allowed; a*b* is the canonical non-member
+// (Section 9.6 reports it as the main reason real paths fall outside the
+// class).
+func IsSimpleTransitive(p *Path) bool {
+	c, ok := chare.Parse(ToRegex(p))
+	if !ok {
+		return false
+	}
+	transitive := 0
+	for _, f := range c.Factors {
+		switch f.Mod {
+		case chare.Star, chare.Plus:
+			transitive++
+		}
+	}
+	return transitive <= 1
+}
+
+// transitionMonoid enumerates the transition monoid of the minimal total
+// DFA of e: all functions states→states induced by words, including the
+// identity (empty word).
+func transitionMonoid(d *automata.DFA) (elements [][]int, finalOf func([]int) bool) {
+	n := d.NumStates
+	id := make([]int, n)
+	for i := range id {
+		id[i] = i
+	}
+	key := func(f []int) string {
+		var b strings.Builder
+		for _, x := range f {
+			b.WriteByte(byte('0' + x%10))
+			b.WriteByte(byte('0' + (x/10)%10))
+			b.WriteByte(',')
+		}
+		return b.String()
+	}
+	gens := make([][]int, 0, len(d.Alphabet))
+	for _, a := range d.Alphabet {
+		g := make([]int, n)
+		for q := 0; q < n; q++ {
+			g[q] = d.Trans[q][a]
+		}
+		gens = append(gens, g)
+	}
+	seen := map[string]bool{key(id): true}
+	elements = [][]int{id}
+	for i := 0; i < len(elements); i++ {
+		for _, g := range gens {
+			comp := make([]int, n)
+			for q := 0; q < n; q++ {
+				comp[q] = g[elements[i][q]]
+			}
+			if k := key(comp); !seen[k] {
+				seen[k] = true
+				elements = append(elements, comp)
+			}
+		}
+	}
+	finalOf = func(f []int) bool { return d.Final[f[0]] }
+	return elements, finalOf
+}
+
+func compose(f, g []int) []int {
+	// (f then g): word uv with f = δ_u, g = δ_v gives q ↦ g[f[q]]
+	out := make([]int, len(f))
+	for q := range f {
+		out[q] = g[f[q]]
+	}
+	return out
+}
+
+// idempotentPower returns e = m^k with e∘e = e (exists for every element
+// of a finite monoid).
+func idempotentPower(m []int) []int {
+	// Iterate m, m², m³, …; the sequence enters a cycle that contains an
+	// idempotent, so this terminates within the monoid size.
+	cur := append([]int(nil), m...)
+	for {
+		if equalFn(compose(cur, cur), cur) {
+			return cur
+		}
+		cur = compose(cur, m)
+	}
+}
+
+func equalFn(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// InCtract approximates membership in the tractability class C_tract of
+// Bagan, Bonifati & Groz (Section 9.6): the regular languages whose
+// simple-path evaluation problem is in PTIME (assuming P ≠ NP). The
+// implemented, exactly decidable proxy is *closure under loop pumping* —
+// ∃ i ∀ u,v,w: u vⁱ w ∈ L ⇒ u vʲ w ∈ L for all j ≥ i — decided on the
+// transition monoid of the minimal DFA: for every element m with
+// idempotent power e and all x, y in the monoid, accept(x·e·y) must imply
+// accept(x·e·m·y). The proxy separates the canonical hard case (aa)*
+// (parity breaks under pumping) from the tractable shapes the log study
+// found — a*, ab*, downward-closed languages, bounded languages — and is
+// documented as an approximation in DESIGN.md.
+func InCtract(p *Path) bool {
+	return ctractOfRegex(ToRegex(p))
+}
+
+func ctractOfRegex(e *regex.Expr) bool {
+	d := automata.ToDFA(e)
+	elements, finalOf := transitionMonoid(d)
+	for _, m := range elements {
+		em := idempotentPower(m)
+		eThenM := compose(em, m)
+		for _, x := range elements {
+			xe := compose(x, em)
+			xem := compose(x, eThenM)
+			for _, y := range elements {
+				if finalOf(compose(xe, y)) && !finalOf(compose(xem, y)) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// IsDownwardClosed reports whether L(p) is closed under subsequences
+// (deleting edges of a path keeps it matching). Downward-closed languages
+// are tractable under both simple-path and trail semantics.
+func IsDownwardClosed(p *Path) bool {
+	return downwardClosedRegex(ToRegex(p))
+}
+
+func downwardClosedRegex(e *regex.Expr) bool {
+	// subsequence closure NFA: for every transition q --a--> p also allow
+	// skipping a (an ε-move q→p); compare with the original language.
+	d := automata.ToDFA(e)
+	n := automata.NewNFA(d.NumStates)
+	n.Initial = []int{0}
+	for q := range d.Final {
+		n.Final[q] = true
+	}
+	// ε-closure via reachability over skip edges, folded into transitions
+	skip := make([][]int, d.NumStates)
+	for q := 0; q < d.NumStates; q++ {
+		for _, p := range d.Trans[q] {
+			skip[q] = append(skip[q], p)
+		}
+	}
+	closure := func(q int) []int {
+		seen := map[int]bool{q: true}
+		stack := []int{q}
+		var out []int
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			out = append(out, x)
+			for _, y := range skip[x] {
+				if !seen[y] {
+					seen[y] = true
+					stack = append(stack, y)
+				}
+			}
+		}
+		return out
+	}
+	for q := 0; q < d.NumStates; q++ {
+		for _, mid := range closure(q) {
+			for a, p := range d.Trans[mid] {
+				for _, end := range closure(p) {
+					n.AddTransition(q, a, end)
+				}
+			}
+			if d.Final[mid] {
+				n.Final[q] = true
+			}
+		}
+	}
+	n.WithAlphabet(d.Alphabet)
+	// downward closed iff closure language ⊆ original (⊇ always holds)
+	closed := automata.Determinize(n)
+	comp := d.Complement(nil)
+	inter := automata.Product(closed, comp, true)
+	return inter.IsEmpty()
+}
+
+// InTtractApprox is a documented approximation of the trail-semantics
+// tractability class T_tract of Martens, Niewerth & Trautner: C_tract is
+// a subclass of T_tract, and downward-closed languages are trail-
+// tractable; the union of the two covers every property path shape
+// occurring in the log study (the paper reports only 93 (14) paths outside
+// T_tract in 55M). A full implementation of the MNT characterization is
+// out of scope; see DESIGN.md.
+func InTtractApprox(p *Path) bool {
+	return InCtract(p) || IsDownwardClosed(p)
+}

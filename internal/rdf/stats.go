@@ -1,0 +1,206 @@
+package rdf
+
+import (
+	"math"
+	"sort"
+	"strings"
+)
+
+// Stats aggregates the dataset characteristics studied in Section 7.1.
+type Stats struct {
+	Triples    int
+	Subjects   int
+	Predicates int
+	Objects    int
+
+	// OutDegree and InDegree are per-node degree distributions (number of
+	// triples per subject resp. object). Bachlechner & Strang observed a
+	// maximum degree of 7739 against an average of 9.56 on FOAF data.
+	OutDegree, InDegree Distribution
+
+	// PredicateLists is the number of distinct predicate lists L_s
+	// (Fernandez et al., Section 7.1.2); RatioSubjectsPerList is
+	// |S_G| / |L_G| — "subjects almost always have the same set of labels
+	// in outgoing edges, i.e., in around 99% of the cases" corresponds to
+	// few lists shared by many subjects.
+	PredicateLists        int
+	RatioSubjectsPerList  float64
+	SharedListSubjectRate float64 // fraction of subjects whose list is shared by ≥ 1% of subjects
+
+	// MeanObjectsPerSP is the mean multiplicity of (s,p) pairs — close to
+	// 1 in the study ("each pair (s, p) ... mostly related to a unique
+	// object").
+	MeanObjectsPerSP float64
+	// MeanSubjectsPerPO and StdDevSubjectsPerPO: mean close to 1 but with
+	// high standard deviation (skewed distribution).
+	MeanSubjectsPerPO   float64
+	StdDevSubjectsPerPO float64
+	// MeanPredicatesPerObject ≈ 1: objects very often have one incoming
+	// edge label.
+	MeanPredicatesPerObject float64
+
+	// PSOverlap = |P∩S| / |P∪S| and POOverlap = |P∩O| / |P∪O|
+	// (Fernandez et al., Table 3: often zero, otherwise 10⁻⁷–10⁻³),
+	// justifying the edge-labeled-graph abstraction.
+	PSOverlap, POOverlap float64
+}
+
+// Distribution summarizes a multiset of integers.
+type Distribution struct {
+	Count  int
+	Max    int
+	Mean   float64
+	Alpha  float64 // discrete power-law MLE exponent (xmin = 1)
+	Values []int   // sorted ascending
+}
+
+func newDistribution(values []int) Distribution {
+	d := Distribution{Count: len(values)}
+	if len(values) == 0 {
+		return d
+	}
+	sort.Ints(values)
+	d.Values = values
+	d.Max = values[len(values)-1]
+	sum := 0
+	logSum := 0.0
+	for _, v := range values {
+		sum += v
+		if v >= 1 {
+			logSum += math.Log(float64(v) / 0.5)
+		}
+	}
+	d.Mean = float64(sum) / float64(len(values))
+	if logSum > 0 {
+		d.Alpha = 1 + float64(len(values))/logSum
+	}
+	return d
+}
+
+// ComputeStats runs the Section 7.1 analyses over the graph.
+func ComputeStats(g *Graph) *Stats {
+	st := &Stats{
+		Triples:    g.Len(),
+		Subjects:   len(g.bySubject),
+		Predicates: len(g.byPredicate),
+		Objects:    len(g.byObject),
+	}
+	// degrees
+	var outs, ins []int
+	for _, idx := range g.bySubject {
+		outs = append(outs, len(idx))
+	}
+	for _, idx := range g.byObject {
+		ins = append(ins, len(idx))
+	}
+	st.OutDegree = newDistribution(outs)
+	st.InDegree = newDistribution(ins)
+
+	// predicate lists
+	listCount := map[string]int{}
+	for s, idx := range g.bySubject {
+		_ = s
+		set := map[string]bool{}
+		for _, i := range idx {
+			set[g.triples[i].P] = true
+		}
+		ps := make([]string, 0, len(set))
+		for p := range set {
+			ps = append(ps, p)
+		}
+		sort.Strings(ps)
+		listCount[strings.Join(ps, "\x00")]++
+	}
+	st.PredicateLists = len(listCount)
+	if st.PredicateLists > 0 {
+		st.RatioSubjectsPerList = float64(st.Subjects) / float64(st.PredicateLists)
+	}
+	threshold := st.Subjects / 100
+	if threshold < 2 {
+		threshold = 2
+	}
+	shared := 0
+	for _, n := range listCount {
+		if n >= threshold {
+			shared += n
+		}
+	}
+	if st.Subjects > 0 {
+		st.SharedListSubjectRate = float64(shared) / float64(st.Subjects)
+	}
+
+	// multiplicities
+	st.MeanObjectsPerSP = meanLen(g.bySP)
+	st.MeanSubjectsPerPO, st.StdDevSubjectsPerPO = meanStdLen(g.byPO)
+
+	// predicates per object
+	perObject := 0
+	for o, idx := range g.byObject {
+		_ = o
+		set := map[string]bool{}
+		for _, i := range idx {
+			set[g.triples[i].P] = true
+		}
+		perObject += len(set)
+	}
+	if st.Objects > 0 {
+		st.MeanPredicatesPerObject = float64(perObject) / float64(st.Objects)
+	}
+
+	// overlaps
+	st.PSOverlap = overlap(keysSet(g.byPredicate), keysSet(g.bySubject))
+	st.POOverlap = overlap(keysSet(g.byPredicate), keysSet(g.byObject))
+	return st
+}
+
+func keysSet(m map[string][]int) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+func overlap(a, b map[string]bool) float64 {
+	inter, union := 0, len(b)
+	for k := range a {
+		if b[k] {
+			inter++
+		} else {
+			union++
+		}
+	}
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+func meanLen(m map[[2]string][]int) float64 {
+	if len(m) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, idx := range m {
+		sum += len(idx)
+	}
+	return float64(sum) / float64(len(m))
+}
+
+func meanStdLen(m map[[2]string][]int) (mean, std float64) {
+	if len(m) == 0 {
+		return 0, 0
+	}
+	sum := 0.0
+	for _, idx := range m {
+		sum += float64(len(idx))
+	}
+	mean = sum / float64(len(m))
+	varSum := 0.0
+	for _, idx := range m {
+		d := float64(len(idx)) - mean
+		varSum += d * d
+	}
+	std = math.Sqrt(varSum / float64(len(m)))
+	return mean, std
+}

@@ -1,0 +1,302 @@
+// Package reduction implements the coNP-hardness reductions of Appendix A
+// of "Towards Theory for Real-World Data": from validity of propositional
+// DNF formulas to containment of expressions in RE(a,a?) and RE(a,a*).
+//
+// A DNF formula φ with n variables and m clauses is valid iff every truth
+// assignment satisfies some clause. Following the appendix, the expression
+// e1 consists of 2m−1 '#'-separated blocks: m−1 concrete buffer blocks, one
+// middle block that generates all truth assignments, and m−1 more buffer
+// blocks. The expression e2 consists of m−1 fully optional blocks, m clause
+// blocks (one per clause, with a concrete '#'), and m−1 more optional
+// blocks. Because every clause '#' must consume a distinct '#' of the word
+// and clause blocks are adjacent in e2, the m clause blocks always cover a
+// window of m consecutive blocks of the word — and the middle (generator)
+// block of e1's word falls in every such window. Hence every generated
+// assignment must match some clause block, i.e. satisfy some clause.
+//
+// Slot encodings are chosen so that buffer slots match every clause slot
+// (buffers may align with any clause block):
+//
+//	RE(a,a?): true = aa, false = ε, buffer = a;
+//	          positive slot "a a?" = {a,aa}, negative "a?" = {ε,a},
+//	          unconstrained "a?a?" = {ε,a,aa}.
+//	RE(a,a*): true = ab, false = ba, buffer = a;
+//	          positive slot "a a* b* a*" = a⁺b*a*, negative "b* a*",
+//	          unconstrained "a* b* a*".
+//
+// The generator slots (a?a? resp. a*b*a*) also produce half-true junk such
+// as "a"; every junk value lies in positive ∪ negative (and in the
+// unconstrained slot), so junk never falsifies a valid formula.
+package reduction
+
+import (
+	"fmt"
+
+	"repro/internal/regex"
+)
+
+// Literal is a possibly negated variable, 1-based; negative values denote
+// negation. For example, -3 is ¬x3.
+type Literal int
+
+// Clause is a conjunction of literals.
+type Clause []Literal
+
+// DNF is a disjunction of clauses over variables 1..Vars.
+type DNF struct {
+	Vars    int
+	Clauses []Clause
+}
+
+// Valid decides validity of φ by enumerating all 2^Vars assignments
+// (used as the brute-force cross-check for the reductions; instances are
+// small by construction).
+func (f *DNF) Valid() bool {
+	if f.Vars > 20 {
+		panic("reduction: brute-force validity limited to 20 variables")
+	}
+	for mask := 0; mask < 1<<uint(f.Vars); mask++ {
+		if !f.satisfiedBy(mask) {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *DNF) satisfiedBy(mask int) bool {
+	for _, cl := range f.Clauses {
+		ok := true
+		for _, lit := range cl {
+			v := int(lit)
+			if v > 0 {
+				if mask&(1<<uint(v-1)) == 0 {
+					ok = false
+					break
+				}
+			} else {
+				if mask&(1<<uint(-v-1)) != 0 {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *DNF) String() string {
+	s := ""
+	for i, cl := range f.Clauses {
+		if i > 0 {
+			s += " ∨ "
+		}
+		s += "("
+		for j, lit := range cl {
+			if j > 0 {
+				s += " ∧ "
+			}
+			if lit < 0 {
+				s += fmt.Sprintf("¬x%d", -lit)
+			} else {
+				s += fmt.Sprintf("x%d", lit)
+			}
+		}
+		s += ")"
+	}
+	return s
+}
+
+func (f *DNF) polarity(cl Clause) map[int]int {
+	pol := map[int]int{}
+	for _, lit := range cl {
+		if lit > 0 {
+			pol[int(lit)] = 1
+		} else {
+			pol[-int(lit)] = -1
+		}
+	}
+	return pol
+}
+
+// Symbols used by the encodings, matching the paper's alphabet.
+const (
+	hash   = "#"
+	dollar = "$"
+	symA   = "a"
+	symB   = "b"
+)
+
+// ToOptContainment builds the RE(a,a?) instance: expressions e1, e2 such
+// that φ is valid iff L(e1) ⊆ L(e2).
+func (f *DNF) ToOptContainment() (e1, e2 *regex.Expr) {
+	n, m := f.Vars, len(f.Clauses)
+	sym := regex.NewSymbol
+	opt := func(a string) *regex.Expr { return regex.NewOpt(sym(a)) }
+
+	// e1 buffer block: # a $ a $ … $ a  — slot value "a" matches every
+	// clause-slot encoding.
+	buffer := func(parts []*regex.Expr) []*regex.Expr {
+		parts = append(parts, sym(hash))
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				parts = append(parts, sym(dollar))
+			}
+			parts = append(parts, sym(symA))
+		}
+		return parts
+	}
+	// e1 generator block: # a?a? $ a?a? $ … — aa = true, ε = false.
+	generator := func(parts []*regex.Expr) []*regex.Expr {
+		parts = append(parts, sym(hash))
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				parts = append(parts, sym(dollar))
+			}
+			parts = append(parts, opt(symA), opt(symA))
+		}
+		return parts
+	}
+	// e2 optional block: #? a?a? $? a?a? $? … — matches any single block
+	// of e1's words, or ε.
+	optional := func(parts []*regex.Expr) []*regex.Expr {
+		parts = append(parts, opt(hash))
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				parts = append(parts, opt(dollar))
+			}
+			parts = append(parts, opt(symA), opt(symA))
+		}
+		return parts
+	}
+	// e2 clause block: slot encodings {a,aa} / {ε,a} / {ε,a,aa}.
+	clause := func(parts []*regex.Expr, cl Clause) []*regex.Expr {
+		pol := f.polarity(cl)
+		parts = append(parts, sym(hash))
+		for i := 1; i <= n; i++ {
+			if i > 1 {
+				parts = append(parts, sym(dollar))
+			}
+			switch pol[i] {
+			case 1:
+				parts = append(parts, sym(symA), opt(symA))
+			case -1:
+				parts = append(parts, opt(symA))
+			default:
+				parts = append(parts, opt(symA), opt(symA))
+			}
+		}
+		return parts
+	}
+
+	var p1 []*regex.Expr
+	for i := 0; i < m-1; i++ {
+		p1 = buffer(p1)
+	}
+	p1 = generator(p1)
+	for i := 0; i < m-1; i++ {
+		p1 = buffer(p1)
+	}
+	e1 = regex.NewConcat(p1...)
+
+	var p2 []*regex.Expr
+	for i := 0; i < m-1; i++ {
+		p2 = optional(p2)
+	}
+	for _, cl := range f.Clauses {
+		p2 = clause(p2, cl)
+	}
+	for i := 0; i < m-1; i++ {
+		p2 = optional(p2)
+	}
+	e2 = regex.NewConcat(p2...)
+	return e1, e2
+}
+
+// ToStarContainment builds the RE(a,a*) instance of Appendix A, in which
+// the word "ab" encodes true and "ba" encodes false.
+func (f *DNF) ToStarContainment() (e1, e2 *regex.Expr) {
+	n, m := f.Vars, len(f.Clauses)
+	sym := regex.NewSymbol
+	star := func(a string) *regex.Expr { return regex.NewStar(sym(a)) }
+
+	buffer := func(parts []*regex.Expr) []*regex.Expr {
+		parts = append(parts, sym(hash))
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				parts = append(parts, sym(dollar))
+			}
+			parts = append(parts, sym(symA))
+		}
+		return parts
+	}
+	// generator slot a* b* a*: produces ab (true), ba (false) and junk
+	// a^i b^j a^k, all of which lies in positive ∪ negative below.
+	generator := func(parts []*regex.Expr) []*regex.Expr {
+		parts = append(parts, sym(hash))
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				parts = append(parts, sym(dollar))
+			}
+			parts = append(parts, star(symA), star(symB), star(symA))
+		}
+		return parts
+	}
+	optional := func(parts []*regex.Expr) []*regex.Expr {
+		parts = append(parts, star(hash))
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				parts = append(parts, star(dollar))
+			}
+			parts = append(parts, star(symA), star(symB), star(symA))
+		}
+		return parts
+	}
+	clause := func(parts []*regex.Expr, cl Clause) []*regex.Expr {
+		pol := f.polarity(cl)
+		parts = append(parts, sym(hash))
+		for i := 1; i <= n; i++ {
+			if i > 1 {
+				parts = append(parts, sym(dollar))
+			}
+			switch pol[i] {
+			case 1:
+				// a⁺b*a*: accepts ab and buffer a, rejects ba and every
+				// b-initial junk word.
+				parts = append(parts, sym(symA), star(symA), star(symB), star(symA))
+			case -1:
+				// b*a*: accepts ba, buffer a, and all b-initial junk;
+				// rejects ab (a before b).
+				parts = append(parts, star(symB), star(symA))
+			default:
+				parts = append(parts, star(symA), star(symB), star(symA))
+			}
+		}
+		return parts
+	}
+
+	var p1 []*regex.Expr
+	for i := 0; i < m-1; i++ {
+		p1 = buffer(p1)
+	}
+	p1 = generator(p1)
+	for i := 0; i < m-1; i++ {
+		p1 = buffer(p1)
+	}
+	e1 = regex.NewConcat(p1...)
+
+	var p2 []*regex.Expr
+	for i := 0; i < m-1; i++ {
+		p2 = optional(p2)
+	}
+	for _, cl := range f.Clauses {
+		p2 = clause(p2, cl)
+	}
+	for i := 0; i < m-1; i++ {
+		p2 = optional(p2)
+	}
+	e2 = regex.NewConcat(p2...)
+	return e1, e2
+}

@@ -1,0 +1,128 @@
+package regex
+
+import "math/rand"
+
+// Gen generates random expressions; it is used by property-based tests and
+// by the corpus generators that replay the schema studies of Section 4.
+type Gen struct {
+	// Alphabet to draw symbols from; must be non-empty.
+	Alphabet []string
+	// StarProb, PlusProb, OptProb are the probabilities that a generated
+	// subexpression is wrapped in the respective operator.
+	StarProb, PlusProb, OptProb float64
+	// UnionProb is the probability that an internal node is a union rather
+	// than a concatenation.
+	UnionProb float64
+	// MaxDepth bounds the parse depth.
+	MaxDepth int
+	// MaxFanout bounds the number of children of concatenations and unions.
+	MaxFanout int
+}
+
+// DefaultGen returns a generator resembling the structurally simple
+// expressions observed in real DTDs (parse depth 1–9, Section 4.2.1).
+func DefaultGen(alphabet []string) *Gen {
+	return &Gen{
+		Alphabet:  alphabet,
+		StarProb:  0.2,
+		PlusProb:  0.1,
+		OptProb:   0.15,
+		UnionProb: 0.3,
+		MaxDepth:  5,
+		MaxFanout: 4,
+	}
+}
+
+// Random returns a random expression drawn from g using r.
+func (g *Gen) Random(r *rand.Rand) *Expr {
+	e := g.random(r, g.MaxDepth)
+	return e
+}
+
+func (g *Gen) random(r *rand.Rand, depth int) *Expr {
+	var e *Expr
+	if depth <= 1 || r.Float64() < 0.35 {
+		e = NewSymbol(g.Alphabet[r.Intn(len(g.Alphabet))])
+	} else {
+		n := 2 + r.Intn(g.MaxFanout-1)
+		subs := make([]*Expr, n)
+		for i := range subs {
+			subs[i] = g.random(r, depth-1)
+		}
+		if r.Float64() < g.UnionProb {
+			e = &Expr{Kind: Union, Subs: subs}
+		} else {
+			e = &Expr{Kind: Concat, Subs: subs}
+		}
+	}
+	switch f := r.Float64(); {
+	case f < g.StarProb:
+		e = NewStar(e)
+	case f < g.StarProb+g.PlusProb:
+		e = NewPlus(e)
+	case f < g.StarProb+g.PlusProb+g.OptProb:
+		e = NewOpt(e)
+	}
+	return e
+}
+
+// RandomWord samples a word from L(e) using r, or returns (nil, false) if
+// L(e) is empty. The maxIter bound guards against unbounded iteration
+// operators; stars and pluses iterate a geometrically distributed number of
+// times.
+func RandomWord(e *Expr, r *rand.Rand) ([]string, bool) {
+	if e.IsEmptyLanguage() {
+		return nil, false
+	}
+	w := sample(e, r)
+	if w == nil {
+		w = []string{}
+	}
+	return w, true
+}
+
+func sample(e *Expr, r *rand.Rand) []string {
+	switch e.Kind {
+	case Empty:
+		panic("regex: sampling from empty language")
+	case Epsilon:
+		return nil
+	case Symbol:
+		return []string{e.Sym}
+	case Union:
+		var nonEmpty []*Expr
+		for _, s := range e.Subs {
+			if !s.IsEmptyLanguage() {
+				nonEmpty = append(nonEmpty, s)
+			}
+		}
+		return sample(nonEmpty[r.Intn(len(nonEmpty))], r)
+	case Concat:
+		var w []string
+		for _, s := range e.Subs {
+			w = append(w, sample(s, r)...)
+		}
+		return w
+	case Star:
+		if e.Sub().IsEmptyLanguage() {
+			return nil
+		}
+		var w []string
+		for k := 0; k < 3 && r.Float64() < 0.5; k++ {
+			w = append(w, sample(e.Sub(), r)...)
+		}
+		return w
+	case Plus:
+		w := sample(e.Sub(), r)
+		for k := 0; k < 3 && r.Float64() < 0.5; k++ {
+			w = append(w, sample(e.Sub(), r)...)
+		}
+		return w
+	case Opt:
+		if e.Sub().IsEmptyLanguage() || r.Float64() < 0.5 {
+			return nil
+		}
+		return sample(e.Sub(), r)
+	}
+	panic("regex: unknown kind")
+}

@@ -1,0 +1,413 @@
+package regex
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses the algebraic notation used throughout the paper:
+//
+//	expr   := term ('+' term)* | term ('|' term)*     union
+//	term   := factor factor*                          concatenation
+//	factor := atom ('*' | '+' | '?')*                 postfix iteration
+//	atom   := label | '(' expr ')' | '<eps>' | '<empty>'
+//
+// Labels are runs of letters, digits, and the characters _ : # $ ' -.
+// Because the paper overloads '+' both as infix union and as postfix
+// iteration, Parse disambiguates lexically: a '+' that immediately follows an
+// atom, a ')' or another postfix operator *without intervening whitespace* is
+// the postfix operator; any other '+' is union. The unambiguous '|' is also
+// accepted for union. Examples: "a+b" is a⁺·b while "a + b" and "a|b" are
+// a ∪ b; "b* a (b* a)*" is the deterministic expression of Section 4.2.1.
+func Parse(s string) (*Expr, error) {
+	toks, err := lex(s)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: s}
+	e, err := p.parseUnion()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.toks) {
+		return nil, fmt.Errorf("regex: unexpected %q at offset %d in %q", p.toks[p.pos].text, p.toks[p.pos].off, s)
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error; for tests and literals.
+func MustParse(s string) *Expr {
+	e, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type tokKind int
+
+const (
+	tokLabel tokKind = iota
+	tokLParen
+	tokRParen
+	tokUnion    // '+' (infix) or '|'
+	tokStar     // '*'
+	tokPlusPost // '+' (postfix)
+	tokOpt      // '?'
+	tokEps      // <eps>
+	tokEmpty    // <empty>
+)
+
+type token struct {
+	kind tokKind
+	text string
+	off  int
+}
+
+func isLabelRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) ||
+		r == '_' || r == ':' || r == '#' || r == '$' || r == '\'' || r == '-'
+}
+
+func lex(s string) ([]token, error) {
+	var toks []token
+	rs := []rune(s)
+	i := 0
+	// prevAtomEnd is the rune index just past the previous atom/')'/postfix
+	// token, used to classify '+'.
+	prevAtomEnd := -1
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case r == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			prevAtomEnd = i + 1
+			i++
+		case r == '|':
+			toks = append(toks, token{tokUnion, "|", i})
+			i++
+		case r == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			prevAtomEnd = i + 1
+			i++
+		case r == '?':
+			toks = append(toks, token{tokOpt, "?", i})
+			prevAtomEnd = i + 1
+			i++
+		case r == '+':
+			if prevAtomEnd == i {
+				toks = append(toks, token{tokPlusPost, "+", i})
+				prevAtomEnd = i + 1
+			} else {
+				toks = append(toks, token{tokUnion, "+", i})
+			}
+			i++
+		case r == '<':
+			j := i
+			for j < len(rs) && rs[j] != '>' {
+				j++
+			}
+			if j == len(rs) {
+				return nil, fmt.Errorf("regex: unterminated '<' at offset %d in %q", i, s)
+			}
+			word := string(rs[i : j+1])
+			switch word {
+			case "<eps>":
+				toks = append(toks, token{tokEps, word, i})
+			case "<empty>":
+				toks = append(toks, token{tokEmpty, word, i})
+			default:
+				return nil, fmt.Errorf("regex: unknown token %q at offset %d", word, i)
+			}
+			prevAtomEnd = j + 1
+			i = j + 1
+		case isLabelRune(r):
+			j := i
+			for j < len(rs) && isLabelRune(rs[j]) {
+				j++
+			}
+			toks = append(toks, token{tokLabel, string(rs[i:j]), i})
+			prevAtomEnd = j
+			i = j
+		default:
+			return nil, fmt.Errorf("regex: invalid character %q at offset %d in %q", r, i, s)
+		}
+	}
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+func (p *parser) peek() (token, bool) {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos], true
+	}
+	return token{}, false
+}
+
+func (p *parser) parseUnion() (*Expr, error) {
+	first, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	subs := []*Expr{first}
+	for {
+		t, ok := p.peek()
+		if !ok || t.kind != tokUnion {
+			break
+		}
+		p.pos++
+		next, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, next)
+	}
+	if len(subs) == 1 {
+		return subs[0], nil
+	}
+	return &Expr{Kind: Union, Subs: subs}, nil
+}
+
+func (p *parser) parseConcat() (*Expr, error) {
+	first, err := p.parsePostfix()
+	if err != nil {
+		return nil, err
+	}
+	subs := []*Expr{first}
+	for {
+		t, ok := p.peek()
+		if !ok {
+			break
+		}
+		if t.kind != tokLabel && t.kind != tokLParen && t.kind != tokEps && t.kind != tokEmpty {
+			break
+		}
+		next, err := p.parsePostfix()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, next)
+	}
+	if len(subs) == 1 {
+		return subs[0], nil
+	}
+	return &Expr{Kind: Concat, Subs: subs}, nil
+}
+
+func (p *parser) parsePostfix() (*Expr, error) {
+	e, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, ok := p.peek()
+		if !ok {
+			break
+		}
+		switch t.kind {
+		case tokStar:
+			e = NewStar(e)
+		case tokPlusPost:
+			e = NewPlus(e)
+		case tokOpt:
+			e = NewOpt(e)
+		default:
+			return e, nil
+		}
+		p.pos++
+	}
+	return e, nil
+}
+
+func (p *parser) parseAtom() (*Expr, error) {
+	t, ok := p.peek()
+	if !ok {
+		return nil, fmt.Errorf("regex: unexpected end of input in %q", p.src)
+	}
+	switch t.kind {
+	case tokLabel:
+		p.pos++
+		return NewSymbol(t.text), nil
+	case tokEps:
+		p.pos++
+		return NewEpsilon(), nil
+	case tokEmpty:
+		p.pos++
+		return NewEmpty(), nil
+	case tokLParen:
+		p.pos++
+		e, err := p.parseUnion()
+		if err != nil {
+			return nil, err
+		}
+		t, ok := p.peek()
+		if !ok || t.kind != tokRParen {
+			return nil, fmt.Errorf("regex: missing ')' in %q", p.src)
+		}
+		p.pos++
+		return e, nil
+	}
+	return nil, fmt.Errorf("regex: unexpected %q at offset %d in %q", t.text, t.off, p.src)
+}
+
+// ParseDTDContent parses a DTD content model in the XML 1.1 syntax used by
+// <!ELEMENT …> declarations: ',' for concatenation, '|' for union, postfix
+// '*', '+', '?', parentheses, and the special models EMPTY and ANY over the
+// given alphabet of all declared element names. Mixed content
+// "(#PCDATA | a | …)*" is reduced to its element part, matching the paper's
+// abstraction of trees without text nodes (Example 3.1).
+//
+// ANY is translated to (a1 + … + an)* over the supplied alphabet; the paper's
+// Section 4.5 discusses ANY as DTD's way to allow arbitrary content.
+func ParseDTDContent(s string, anyAlphabet []string) (*Expr, error) {
+	t := strings.TrimSpace(s)
+	switch t {
+	case "EMPTY":
+		return NewEpsilon(), nil
+	case "ANY":
+		subs := make([]*Expr, 0, len(anyAlphabet))
+		for _, a := range anyAlphabet {
+			subs = append(subs, NewSymbol(a))
+		}
+		if len(subs) == 0 {
+			return NewEpsilon(), nil
+		}
+		return NewStar(NewUnion(subs...)), nil
+	}
+	p := &dtdParser{src: t}
+	e, err := p.parseChoice()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("dtd content: trailing input %q", p.src[p.pos:])
+	}
+	return e, nil
+}
+
+type dtdParser struct {
+	src string
+	pos int
+}
+
+func (p *dtdParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n' || p.src[p.pos] == '\r') {
+		p.pos++
+	}
+}
+
+func (p *dtdParser) parseChoice() (*Expr, error) {
+	first, err := p.parseSeq()
+	if err != nil {
+		return nil, err
+	}
+	subs := []*Expr{first}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) || p.src[p.pos] != '|' {
+			break
+		}
+		p.pos++
+		e, err := p.parseSeq()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, e)
+	}
+	// #PCDATA members were parsed as ε; drop them from multi-way unions.
+	if len(subs) == 1 {
+		return subs[0], nil
+	}
+	return &Expr{Kind: Union, Subs: subs}, nil
+}
+
+func (p *dtdParser) parseSeq() (*Expr, error) {
+	first, err := p.parseUnit()
+	if err != nil {
+		return nil, err
+	}
+	subs := []*Expr{first}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) || p.src[p.pos] != ',' {
+			break
+		}
+		p.pos++
+		e, err := p.parseUnit()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, e)
+	}
+	if len(subs) == 1 {
+		return subs[0], nil
+	}
+	return &Expr{Kind: Concat, Subs: subs}, nil
+}
+
+func (p *dtdParser) parseUnit() (*Expr, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("dtd content: unexpected end of %q", p.src)
+	}
+	var e *Expr
+	if p.src[p.pos] == '(' {
+		p.pos++
+		inner, err := p.parseChoice()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return nil, fmt.Errorf("dtd content: missing ')' in %q", p.src)
+		}
+		p.pos++
+		e = inner
+	} else {
+		start := p.pos
+		for p.pos < len(p.src) && isDTDNameByte(p.src[p.pos]) {
+			p.pos++
+		}
+		if p.pos == start {
+			return nil, fmt.Errorf("dtd content: invalid character %q in %q", p.src[p.pos], p.src)
+		}
+		name := p.src[start:p.pos]
+		if name == "#PCDATA" {
+			e = NewEpsilon() // text content is abstracted away
+		} else {
+			e = NewSymbol(name)
+		}
+	}
+	// Postfix operator.
+	if p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case '*':
+			p.pos++
+			e = NewStar(e)
+		case '+':
+			p.pos++
+			e = NewPlus(e)
+		case '?':
+			p.pos++
+			e = NewOpt(e)
+		}
+	}
+	return e, nil
+}
+
+func isDTDNameByte(b byte) bool {
+	return b == '#' || b == '_' || b == ':' || b == '-' || b == '.' ||
+		(b >= '0' && b <= '9') || (b >= 'A' && b <= 'Z') || (b >= 'a' && b <= 'z')
+}

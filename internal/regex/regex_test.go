@@ -1,0 +1,329 @@
+package regex
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBasics(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // canonical String() output
+	}{
+		{"a", "a"},
+		{"a b", "a b"},
+		{"a + b", "a + b"},
+		{"a|b", "a + b"},
+		{"a+", "a+"},
+		{"a+ b", "a+ b"},
+		{"a + b + c", "a + b + c"},
+		{"(a + b)* a", "(a + b)* a"},
+		{"b* a (b* a)*", "b* a (b* a)*"},
+		{"a?", "a?"},
+		{"a* a b b*", "a* a b b*"}, // the paper's a*abb* (labels here are multi-character, so spaces separate)
+		{"<eps>", "<eps>"},
+		{"<empty>", "<empty>"},
+		{"(a)", "a"},
+		{"((a + b))", "a + b"},
+		{"name birthplace", "name birthplace"},
+		{"city state country?", "city state country?"},
+		{"a**", "(a*)*"},
+		{"(a + b)?", "(a + b)?"},
+		{"a+b", "a+ b"}, // postfix plus binds without space
+	}
+	for _, c := range cases {
+		e, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if got := e.String(); got != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"", "(", ")", "a + ", "*", "<bogus>", "a & b", "(a", "<eps"} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): expected error", in)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	g := DefaultGen([]string{"a", "b", "c", "person", "name"})
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		e := g.Random(r)
+		s := e.String()
+		f, err := Parse(s)
+		if err != nil {
+			t.Fatalf("round trip parse of %q: %v", s, err)
+		}
+		if !e.Equal(f) {
+			t.Fatalf("round trip of %q changed expression: got %q", s, f.String())
+		}
+	}
+}
+
+func TestParseDTDContent(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"(a, b)", "a b"},
+		{"(a | b)", "a + b"},
+		{"(a, b*, (c | d)+)", "a b* (c + d)+"},
+		{"EMPTY", "<eps>"},
+		{"(#PCDATA)", "<eps>"},
+		{"(#PCDATA | em | strong)*", "(<eps> + em + strong)*"},
+		{"(name, birthplace)", "name birthplace"},
+		{"(city, state, country?)", "city state country?"},
+		{"person*", "person*"},
+	}
+	for _, c := range cases {
+		e, err := ParseDTDContent(c.in, nil)
+		if err != nil {
+			t.Fatalf("ParseDTDContent(%q): %v", c.in, err)
+		}
+		if got := e.String(); got != c.want {
+			t.Errorf("ParseDTDContent(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	any, err := ParseDTDContent("ANY", []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := any.String(); got != "(a + b)*" {
+		t.Errorf("ANY = %q", got)
+	}
+	for _, in := range []string{"(a,)", "(a | )", "(a", "a))", "(a % b)"} {
+		if _, err := ParseDTDContent(in, nil); err == nil {
+			t.Errorf("ParseDTDContent(%q): expected error", in)
+		}
+	}
+}
+
+func TestNullable(t *testing.T) {
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{"<eps>", true},
+		{"<empty>", false},
+		{"a", false},
+		{"a*", true},
+		{"a+", false},
+		{"a?", true},
+		{"a b", false},
+		{"a* b*", true},
+		{"a + b*", true},
+		{"(a b)+", false},
+		{"(a?)+", true},
+	}
+	for _, c := range cases {
+		if got := MustParse(c.in).Nullable(); got != c.want {
+			t.Errorf("Nullable(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIsEmptyLanguage(t *testing.T) {
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{"<empty>", true},
+		{"<eps>", false},
+		{"a <empty>", true},
+		{"a + <empty>", false},
+		{"<empty>*", false},
+		{"<empty>+", true},
+		{"(<empty> + <empty>)", true},
+	}
+	for _, c := range cases {
+		if got := MustParse(c.in).IsEmptyLanguage(); got != c.want {
+			t.Errorf("IsEmptyLanguage(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSizeDepthOccurrences(t *testing.T) {
+	e := MustParse("(a + b)* a (a + b)")
+	if got := e.MaxOccurrences(); got != 3 {
+		t.Errorf("MaxOccurrences = %d, want 3", got)
+	}
+	if got := e.ParseDepth(); got != 4 {
+		// concat > star > union > symbol
+		t.Errorf("ParseDepth = %d, want 4", got)
+	}
+	occ := e.Occurrences()
+	if occ["a"] != 3 || occ["b"] != 2 {
+		t.Errorf("Occurrences = %v", occ)
+	}
+	if got := strings.Join(e.Alphabet(), ","); got != "a,b" {
+		t.Errorf("Alphabet = %q", got)
+	}
+	if e.Size() != 9 {
+		// union(2) star union(2) concat + 3 symbols in star-union + a + 2 in union = count nodes:
+		// concat, star, union(a,b), a, b, a, union(a,b), a, b = 9
+		t.Errorf("Size = %d, want 9", e.Size())
+	}
+}
+
+func TestLinearize(t *testing.T) {
+	// e = (a + b)* a : positions 1=a, 2=b, 3=a.
+	l := Linearize(MustParse("(a + b)* a"))
+	if l.NumPositions() != 3 {
+		t.Fatalf("NumPositions = %d", l.NumPositions())
+	}
+	if l.Nullable {
+		t.Error("should not be nullable")
+	}
+	wantFirst := map[int]bool{1: true, 2: true, 3: true}
+	for _, p := range l.First {
+		if !wantFirst[p] {
+			t.Errorf("unexpected first position %d", p)
+		}
+		delete(wantFirst, p)
+	}
+	if len(wantFirst) != 0 {
+		t.Errorf("missing first positions %v", wantFirst)
+	}
+	if len(l.Last) != 1 || l.Last[0] != 3 {
+		t.Errorf("Last = %v, want [3]", l.Last)
+	}
+	// follow(1) = {1,2,3}, follow(2) = {1,2,3}, follow(3) = {}.
+	for _, p := range []int{1, 2} {
+		if len(l.Follow[p]) != 3 {
+			t.Errorf("Follow[%d] = %v, want 3 positions", p, l.Follow[p])
+		}
+	}
+	if len(l.Follow[3]) != 0 {
+		t.Errorf("Follow[3] = %v, want empty", l.Follow[3])
+	}
+}
+
+func TestDerivativeMatches(t *testing.T) {
+	cases := []struct {
+		re   string
+		word string // space-separated labels, "" = ε
+		want bool
+	}{
+		{"a", "a", true},
+		{"a", "b", false},
+		{"a", "", false},
+		{"a*", "", true},
+		{"a*", "a a a", true},
+		{"(a + b)* a", "b b a", true},
+		{"(a + b)* a", "a b", false},
+		{"b* a (b* a)*", "b b a b a", true},
+		{"b* a (b* a)*", "b b", false},
+		{"name birthplace", "name birthplace", true},
+		{"city state country?", "city state", true},
+		{"city state country?", "city state country", true},
+		{"city state country?", "city country", false},
+		{"(a b)+", "a b a b", true},
+		{"(a b)+", "", false},
+		{"a? a? a?", "a a", true},
+		{"a? a? a?", "a a a a", false},
+	}
+	for _, c := range cases {
+		var w []string
+		if c.word != "" {
+			w = strings.Fields(c.word)
+		}
+		if got := Matches(MustParse(c.re), w); got != c.want {
+			t.Errorf("Matches(%q, %q) = %v, want %v", c.re, c.word, got, c.want)
+		}
+	}
+}
+
+func TestSimplifyPreservesMembership(t *testing.T) {
+	g := DefaultGen([]string{"a", "b", "c"})
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		e := g.Random(r)
+		s := e.Simplify()
+		// Sample words from both and cross-check membership.
+		for j := 0; j < 5; j++ {
+			if w, ok := RandomWord(e, r); ok {
+				if !Matches(s, w) {
+					t.Fatalf("Simplify(%q) = %q rejects %v from original", e, s, w)
+				}
+			}
+			if w, ok := RandomWord(s, r); ok {
+				if !Matches(e, w) {
+					t.Fatalf("original %q rejects %v from Simplify = %q", e, w, s)
+				}
+			}
+		}
+	}
+}
+
+func TestSimplifyIdentities(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"a <eps> b", "a b"},
+		{"a <empty> b", "<empty>"},
+		{"a + <empty>", "a"},
+		{"(a?)?", "a?"},
+		{"(a*)*", "a*"},
+		{"(a*)+", "a*"},
+		{"(a+)+", "a+"},
+		{"(a?)*", "a*"},
+		{"<eps> + a", "a?"},
+		{"<eps> + a*", "a*"},
+	}
+	for _, c := range cases {
+		if got := MustParse(c.in).Simplify().String(); got != c.want {
+			t.Errorf("Simplify(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRandomWordInLanguage(t *testing.T) {
+	g := DefaultGen([]string{"a", "b"})
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		e := g.Random(r)
+		w, ok := RandomWord(e, r)
+		if !ok {
+			continue
+		}
+		if !Matches(e, w) {
+			t.Fatalf("RandomWord(%q) produced %v not in language", e, w)
+		}
+	}
+}
+
+func TestCloneEqualQuick(t *testing.T) {
+	g := DefaultGen([]string{"a", "b", "c"})
+	r := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		_ = seed
+		e := g.Random(r)
+		return e.Equal(e.Clone())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcatUnionFlattening(t *testing.T) {
+	e := NewConcat(NewSymbol("a"), NewConcat(NewSymbol("b"), NewSymbol("c")))
+	if len(e.Subs) != 3 {
+		t.Errorf("NewConcat did not flatten: %d children", len(e.Subs))
+	}
+	u := NewUnion(NewSymbol("a"), NewUnion(NewSymbol("b"), NewSymbol("c")))
+	if len(u.Subs) != 3 {
+		t.Errorf("NewUnion did not flatten: %d children", len(u.Subs))
+	}
+	if NewConcat().Kind != Epsilon {
+		t.Error("empty concat should be ε")
+	}
+	if NewUnion().Kind != Empty {
+		t.Error("empty union should be ∅")
+	}
+}

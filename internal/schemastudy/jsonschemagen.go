@@ -1,0 +1,121 @@
+package schemastudy
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// JSONSchemaGen generates synthetic JSON Schema documents with the rates
+// of the two Section 4.5 studies: Maiwald et al. (26/159 recursive;
+// non-recursive depths 3–43, average 11; schema-full explicit in 8/159)
+// and Baazizi et al. (negation in 2.6% of schemas).
+type JSONSchemaGen struct {
+	RecursionRate  float64
+	NegationRate   float64
+	SchemaFullRate float64
+	// MeanDepth controls the nesting-depth distribution of non-recursive
+	// schemas.
+	MeanDepth int
+}
+
+// DefaultJSONSchemaGen matches the studies.
+func DefaultJSONSchemaGen() *JSONSchemaGen {
+	return &JSONSchemaGen{
+		RecursionRate:  26.0 / 159.0,
+		NegationRate:   0.026,
+		SchemaFullRate: 8.0 / 159.0,
+		MeanDepth:      11,
+	}
+}
+
+var jsonProps = []string{
+	"name", "id", "items", "config", "value", "children", "meta",
+	"address", "tags", "payload", "status", "version",
+}
+
+// Schema emits one JSON Schema document.
+func (g *JSONSchemaGen) Schema(r *rand.Rand) string {
+	if r.Float64() < g.RecursionRate {
+		return `{
+  "$ref": "#/definitions/node",
+  "definitions": {
+    "node": {
+      "type": "object",
+      "properties": {
+        "` + jsonProps[r.Intn(len(jsonProps))] + `": {"type": "string"},
+        "children": {"type": "array", "items": {"$ref": "#/definitions/node"}}
+      }
+    }
+  }
+}`
+	}
+	// target depth 3..43 with mean ≈ 11 (geometric tail above the base)
+	depth := 3 + r.Intn(5)
+	for depth < 43 && r.Float64() < 1-1.0/float64(g.MeanDepth-6) {
+		depth++
+	}
+	// negation and schema-full are PER-SCHEMA decisions, injected at one
+	// random object level (the studies count schemas, not keywords)
+	negAt, fullAt := -1, -1
+	if r.Float64() < g.NegationRate {
+		negAt = 1 + r.Intn(depth)
+	}
+	if r.Float64() < g.SchemaFullRate {
+		fullAt = 1 + r.Intn(depth)
+	}
+	var build func(d int) string
+	build = func(d int) string {
+		if d <= 1 {
+			return `{"type": "` + []string{"string", "integer", "number", "boolean"}[r.Intn(4)] + `"}`
+		}
+		prop := jsonProps[r.Intn(len(jsonProps))]
+		extra := ""
+		if d == fullAt {
+			extra = `, "additionalProperties": false`
+		}
+		if d == negAt {
+			extra += `, "not": {"required": ["forbidden_key"]}`
+		}
+		if extra == "" && r.Float64() < 0.3 {
+			return `{"type": "array", "items": ` + build(d-1) + `}`
+		}
+		return fmt.Sprintf(`{"type": "object", "properties": {%q: %s}%s}`, prop, build(d-1), extra)
+	}
+	return build(depth)
+}
+
+// Corpus emits n schema documents.
+func (g *JSONSchemaGen) Corpus(r *rand.Rand, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = g.Schema(r)
+	}
+	return out
+}
+
+// DTDCorpus emits n DTD texts.
+func (g *DTDGen) Corpus(r *rand.Rand, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = g.DTD(r)
+	}
+	return out
+}
+
+// describeDepths summarizes a depth slice as "min–max (avg)".
+func DescribeDepths(depths []int) string {
+	if len(depths) == 0 {
+		return "n/a"
+	}
+	min, max, sum := depths[0], depths[0], 0
+	for _, d := range depths {
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+		sum += d
+	}
+	return fmt.Sprintf("%d-%d (avg %.1f)", min, max, float64(sum)/float64(len(depths)))
+}

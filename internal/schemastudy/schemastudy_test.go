@@ -1,0 +1,104 @@
+package schemastudy
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/edtd"
+	"repro/internal/jsonschema"
+)
+
+func TestDTDCorpusStudy(t *testing.T) {
+	g := DefaultDTDGen()
+	r := rand.New(rand.NewSource(4))
+	corpus := g.Corpus(r, 400)
+	rep := AnalyzeDTDs(corpus)
+	if rep.ParseErrors > 0 {
+		t.Fatalf("generator emitted %d unparsable DTDs", rep.ParseErrors)
+	}
+	if rep.Total != 400 {
+		t.Fatalf("total = %d", rep.Total)
+	}
+	// Choi: 35/60 ≈ 58% recursive.
+	recRate := float64(rep.Recursive) / float64(rep.Total)
+	if recRate < 0.45 || recRate > 0.70 {
+		t.Errorf("recursion rate = %.2f, want ≈ 0.58", recRate)
+	}
+	// Bex et al.: > 92% CHAREs, > 99% SOREs.
+	if rep.CHARERate() < 0.90 {
+		t.Errorf("CHARE rate = %.3f, want > 0.90", rep.CHARERate())
+	}
+	if rep.SORERate() < 0.97 {
+		t.Errorf("SORE rate = %.3f, want ≈ 0.99", rep.SORERate())
+	}
+	// Choi: parse depth 1..9.
+	if rep.MaxParseDepth > 9 {
+		t.Errorf("max parse depth = %d, want ≤ 9", rep.MaxParseDepth)
+	}
+	// determinism violations exist but are a small minority
+	detRate := float64(rep.Deterministic) / float64(rep.Expressions)
+	if detRate < 0.85 {
+		t.Errorf("deterministic rate = %.3f", detRate)
+	}
+	if detRate > 0.999 {
+		t.Errorf("expected a few non-deterministic expressions, got rate %.4f", detRate)
+	}
+	// non-recursive DTDs allow nontrivial depths
+	if len(rep.MaxDepths) == 0 {
+		t.Fatal("no non-recursive DTDs")
+	}
+}
+
+func TestXSDCorpusStudy(t *testing.T) {
+	g := DefaultXSDGen()
+	r := rand.New(rand.NewSource(11))
+	schemas := make([]*edtd.EDTD, 30)
+	for i := range schemas {
+		schemas[i] = g.Schema(r)
+	}
+	rep := AnalyzeXSDs(schemas)
+	if rep.Total != 30 {
+		t.Fatalf("total = %d", rep.Total)
+	}
+	// Bex et al.: 25/30 DTD-expressible, the rest parent/grandparent-typed.
+	if rep.DTDExpressible < 20 || rep.DTDExpressible > 29 {
+		t.Errorf("DTD-expressible = %d/30, want ≈ 25", rep.DTDExpressible)
+	}
+	if rep.DTDExpressible+rep.DependencyDepth12 != rep.Total {
+		t.Errorf("every schema should be DTD-expressible or depth-1/2 typed: %+v", rep)
+	}
+	if rep.SingleType != rep.Total {
+		t.Errorf("all generated schemas are single-type: %+v", rep)
+	}
+}
+
+func TestJSONSchemaCorpusStudy(t *testing.T) {
+	g := DefaultJSONSchemaGen()
+	r := rand.New(rand.NewSource(2))
+	corpus := g.Corpus(r, 500)
+	rep := jsonschema.RunStudy(corpus)
+	if rep.Total != 500 {
+		t.Fatalf("total = %d (unparsable schemas?)", rep.Total)
+	}
+	recRate := float64(rep.Recursive) / float64(rep.Total)
+	if recRate < 0.10 || recRate > 0.24 {
+		t.Errorf("recursion rate = %.3f, want ≈ 0.16", recRate)
+	}
+	avg := rep.AverageDepth()
+	if avg < 7 || avg > 16 {
+		t.Errorf("average depth = %.1f, want ≈ 11", avg)
+	}
+	// depths range into the tens (paper: 3–43)
+	max := 0
+	for _, d := range rep.Depths {
+		if d > max {
+			max = d
+		}
+	}
+	if max < 20 {
+		t.Errorf("max depth = %d, want a long tail", max)
+	}
+	if rep.NegationUse == 0 || rep.SchemaFull == 0 {
+		t.Errorf("negation/schema-full not represented: %+v", rep)
+	}
+}

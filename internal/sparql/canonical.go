@@ -1,0 +1,185 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// writeCanonical renders a parsed query into a normalized single-line form
+// used for duplicate elimination (the Unique columns of the Section 9
+// studies). The rendering is whitespace- and case-normalized but keeps the
+// syntactic structure (it does not canonicalize variable names, matching
+// the studies' string-level dedup after parsing).
+func writeCanonical(q *Query, b *strings.Builder) {
+	// prefixes are resolved away from the canonical form: two queries that
+	// differ only in prefix declarations but expand identically should
+	// dedup; we approximate by expanding prefixed names.
+	switch q.Type {
+	case Select:
+		b.WriteString("SELECT ")
+		if q.Distinct {
+			b.WriteString("DISTINCT ")
+		}
+		if q.Reduced {
+			b.WriteString("REDUCED ")
+		}
+		if q.Star {
+			b.WriteString("* ")
+		}
+		for _, it := range q.Items {
+			if it.Expr != nil {
+				fmt.Fprintf(b, "(%s AS ?%s) ", canonExpr(it.Expr, q), it.Var)
+			} else {
+				fmt.Fprintf(b, "?%s ", it.Var)
+			}
+		}
+	case Ask:
+		b.WriteString("ASK ")
+	case Construct:
+		b.WriteString("CONSTRUCT { ")
+		for _, t := range q.Template {
+			writeCanonPattern(t, q, b)
+		}
+		b.WriteString("} ")
+	case Describe:
+		b.WriteString("DESCRIBE ")
+		for _, t := range q.DescribeTerms {
+			b.WriteString(canonTerm(t, q))
+			b.WriteByte(' ')
+		}
+	}
+	if q.Where != nil {
+		b.WriteString("WHERE { ")
+		writeCanonPattern(q.Where, q, b)
+		b.WriteString("} ")
+	}
+	if len(q.GroupBy) > 0 {
+		fmt.Fprintf(b, "GROUP BY %s ", strings.Join(q.GroupBy, " "))
+	}
+	for _, h := range q.Having {
+		fmt.Fprintf(b, "HAVING (%s) ", canonExpr(h, q))
+	}
+	if q.OrderBy > 0 {
+		fmt.Fprintf(b, "ORDER BY [%d] ", q.OrderBy)
+	}
+	if q.Limit >= 0 {
+		fmt.Fprintf(b, "LIMIT %d ", q.Limit)
+	}
+	if q.Offset >= 0 {
+		fmt.Fprintf(b, "OFFSET %d ", q.Offset)
+	}
+}
+
+func canonTerm(t Term, q *Query) string {
+	if t.Kind == TermIRI {
+		return expandIRI(t.Value, q)
+	}
+	return t.String()
+}
+
+// expandIRI resolves a prefixed name against the query's prologue.
+func expandIRI(iri string, q *Query) string {
+	if strings.HasPrefix(iri, "<") || q == nil {
+		return iri
+	}
+	i := strings.IndexByte(iri, ':')
+	if i < 0 {
+		return iri
+	}
+	if base, ok := q.Prefixes[iri[:i]]; ok {
+		return "<" + strings.TrimSuffix(strings.TrimPrefix(base, "<"), ">") + iri[i+1:] + ">"
+	}
+	return iri
+}
+
+func writeCanonPattern(p *Pattern, q *Query, b *strings.Builder) {
+	switch p.Kind {
+	case PGroup:
+		for _, s := range p.Subs {
+			writeCanonPattern(s, q, b)
+		}
+	case PTriple:
+		fmt.Fprintf(b, "%s %s %s . ", canonTerm(p.S, q), canonTerm(p.P, q), canonTerm(p.O, q))
+	case PPath:
+		fmt.Fprintf(b, "%s %s %s . ", canonTerm(p.S, q), p.Path, canonTerm(p.O, q))
+	case PFilter:
+		fmt.Fprintf(b, "FILTER(%s) ", canonExpr(p.Expr, q))
+	case PUnion:
+		b.WriteString("{ ")
+		writeCanonPattern(p.Subs[0], q, b)
+		b.WriteString("} UNION { ")
+		writeCanonPattern(p.Subs[1], q, b)
+		b.WriteString("} ")
+	case POptional:
+		b.WriteString("OPTIONAL { ")
+		writeCanonPattern(p.Subs[0], q, b)
+		b.WriteString("} ")
+	case PGraph:
+		fmt.Fprintf(b, "GRAPH %s { ", canonTerm(p.Name, q))
+		writeCanonPattern(p.Subs[0], q, b)
+		b.WriteString("} ")
+	case PBind:
+		fmt.Fprintf(b, "BIND(%s AS ?%s) ", canonExpr(p.Expr, q), p.BindVar)
+	case PValues:
+		fmt.Fprintf(b, "VALUES (%s) [%d rows] ", strings.Join(p.ValuesVars, " "), p.ValuesRows)
+	case PService:
+		fmt.Fprintf(b, "SERVICE %s { ", canonTerm(p.Name, q))
+		writeCanonPattern(p.Subs[0], q, b)
+		b.WriteString("} ")
+	case PMinus:
+		b.WriteString("MINUS { ")
+		writeCanonPattern(p.Subs[0], q, b)
+		b.WriteString("} ")
+	case PSubquery:
+		b.WriteString("{ ")
+		writeCanonical(p.Query, b)
+		b.WriteString("} ")
+	}
+}
+
+func canonExpr(e *Expr, q *Query) string {
+	if e == nil {
+		return ""
+	}
+	switch e.Kind {
+	case EVar:
+		return "?" + e.Var
+	case EConst:
+		return expandIRI(e.Const, q)
+	case ECompare, EBool, EArith:
+		if e.Op == "neg" {
+			return "-" + canonExpr(e.Subs[0], q)
+		}
+		return "(" + canonExpr(e.Subs[0], q) + e.Op + canonExpr(e.Subs[1], q) + ")"
+	case ENot:
+		return "!(" + canonExpr(e.Subs[0], q) + ")"
+	case EFunc:
+		parts := make([]string, len(e.Subs))
+		for i, s := range e.Subs {
+			parts[i] = canonExpr(s, q)
+		}
+		return e.Func + "(" + strings.Join(parts, ",") + ")"
+	case EExists:
+		var b strings.Builder
+		if e.Negated {
+			b.WriteString("NOT ")
+		}
+		b.WriteString("EXISTS { ")
+		writeCanonPattern(e.Pattern, q, &b)
+		b.WriteString("}")
+		return b.String()
+	case EIn:
+		parts := make([]string, 0, len(e.Subs)-1)
+		for _, s := range e.Subs[1:] {
+			parts = append(parts, canonExpr(s, q))
+		}
+		sort.Strings(parts)
+		neg := ""
+		if e.Negated {
+			neg = "NOT "
+		}
+		return canonExpr(e.Subs[0], q) + " " + neg + "IN(" + strings.Join(parts, ",") + ")"
+	}
+	return "?"
+}

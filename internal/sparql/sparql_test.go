@@ -1,0 +1,256 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+)
+
+// wikidataExample is the paper's example query (Section 9, "Locations of
+// archaeological sites").
+const wikidataExample = `SELECT ?label ?coord ?subj
+WHERE { ?subj wdt:P31/wdt:P279* wd:Q839954 .
+        ?subj wdt:P625 ?coord .
+        ?subj rdfs:label ?label FILTER(lang(?label)="en") }`
+
+func TestParseWikidataExample(t *testing.T) {
+	q, err := Parse(wikidataExample)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.Type != Select {
+		t.Errorf("type = %v", q.Type)
+	}
+	if len(q.Items) != 3 {
+		t.Errorf("items = %v", q.Items)
+	}
+	if got := q.TripleCount(); got != 3 {
+		t.Errorf("TripleCount = %d, want 3", got)
+	}
+	pps := q.PropertyPaths()
+	if len(pps) != 1 {
+		t.Fatalf("property paths = %d, want 1", len(pps))
+	}
+	if pps[0].String() != "wdt:P31/wdt:P279*" {
+		t.Errorf("path = %q", pps[0])
+	}
+	f := q.Features()
+	for _, want := range []Feature{FFilter, FAnd, FPropertyPath} {
+		if !f[want] {
+			t.Errorf("feature %s missing", want)
+		}
+	}
+	for _, not := range []Feature{FOptional, FUnion, FDistinct, FLimit, FService} {
+		if f[not] {
+			t.Errorf("feature %s should be absent", not)
+		}
+	}
+	if !q.IsC2RPQF() {
+		t.Error("example query is a C2RPQ+F query")
+	}
+	if q.IsCQF() {
+		t.Error("example query uses property paths, not CQ+F")
+	}
+}
+
+func TestParseForms(t *testing.T) {
+	good := []string{
+		"SELECT * WHERE { ?s ?p ?o }",
+		"SELECT DISTINCT ?s WHERE { ?s a foaf:Person } LIMIT 10 OFFSET 5",
+		"ASK { ?s ?p ?o }",
+		"ASK WHERE { ?s ?p ?o . ?o ?q ?r }",
+		"CONSTRUCT { ?s a foaf:Agent } WHERE { ?s a foaf:Person }",
+		"DESCRIBE ?x",
+		"DESCRIBE <http://example.org/thing>",
+		"PREFIX foaf: <http://xmlns.com/foaf/0.1/> SELECT ?n WHERE { ?x foaf:name ?n }",
+		"SELECT ?s WHERE { ?s ?p ?o FILTER(?o > 3) }",
+		"SELECT ?s WHERE { { ?s a :A } UNION { ?s a :B } }",
+		"SELECT ?s WHERE { ?s a :A OPTIONAL { ?s :name ?n } }",
+		"SELECT ?s WHERE { GRAPH ?g { ?s ?p ?o } }",
+		"SELECT ?s WHERE { ?s ?p ?o . BIND(?o + 1 AS ?x) }",
+		"SELECT ?s WHERE { VALUES ?s { :a :b :c } ?s ?p ?o }",
+		"SELECT ?s WHERE { SERVICE wikibase:label { ?s ?p ?o } }",
+		"SELECT ?s WHERE { ?s ?p ?o MINUS { ?s a :Bad } }",
+		"SELECT ?s WHERE { ?s ?p ?o FILTER NOT EXISTS { ?s a :Bad } }",
+		"SELECT ?s WHERE { ?s ?p ?o FILTER EXISTS { ?s a :Good } }",
+		"SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?s HAVING (COUNT(*) > 2) ORDER BY ?s",
+		"SELECT ?s WHERE { { SELECT ?s WHERE { ?s ?p ?o } LIMIT 5 } }",
+		"SELECT ?s WHERE { ?s :p ?a ; :q ?b . }",
+		"SELECT ?s WHERE { ?s :p ?a , ?b }",
+		"SELECT ?s WHERE { ?s !(rdf:type|^rdfs:label) ?o }",
+		"SELECT ?s WHERE { ?s (wdt:P31|wdt:P279)+ ?o }",
+		"SELECT ?s WHERE { ?s ?p \"lit\"^^xsd:string }",
+		"SELECT ?s WHERE { ?s ?p 'x'@en }",
+		"SELECT ?s WHERE { ?s ?p 3.14 }",
+		"SELECT ?s WHERE { ?s ?p true }",
+		"SELECT ?s WHERE { _:b ?p ?o }",
+		"SELECT ?s WHERE { ?s ?p ?o } VALUES ?s { :a }",
+		"# comment\nSELECT ?s WHERE { ?s ?p ?o }",
+		"SELECT ?s WHERE { ?s a/:b* ?o }",
+	}
+	for _, src := range good {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+		}
+	}
+	bad := []string{
+		"",
+		"SELECT WHERE { ?s ?p ?o }",
+		"SELECT ?s { ?s ?p }",
+		"SELECT ?s WHERE { ?s ?p ?o",
+		"FOO ?s WHERE { ?s ?p ?o }",
+		"SELECT ?s WHERE { ?s ?p ?o } LIMIT x",
+		"SELECT ?s WHERE { FILTER }",
+		"SELECT ?s WHERE { \"lit\" ?p ?o }",
+		"SELECT ?s WHERE { ?s ?p ?o } GROUP BY",
+		"SELECT ?s WHERE { OPTIONAL ?x }",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestTripleCountAbbreviations(t *testing.T) {
+	q := MustParse("SELECT * WHERE { ?s :p ?a ; :q ?b , ?c . ?x :r ?y }")
+	if got := q.TripleCount(); got != 4 {
+		t.Errorf("TripleCount = %d, want 4", got)
+	}
+}
+
+func TestOperatorSets(t *testing.T) {
+	cases := []struct {
+		src  string
+		name string
+	}{
+		{"SELECT * WHERE { ?s ?p ?o }", "none"},
+		{"SELECT * WHERE { ?s ?p ?o . ?o ?q ?r }", "And"},
+		{"SELECT * WHERE { ?s ?p ?o FILTER(?o > 1) }", "Filter"},
+		{"SELECT * WHERE { ?s ?p ?o . ?o ?q ?r FILTER(?r > 1) }", "And, Filter"},
+		{"SELECT * WHERE { ?s :a* ?o }", "2RPQ"},
+		{"SELECT * WHERE { ?s :a* ?o . ?o ?q ?r }", "And, 2RPQ"},
+		{"SELECT * WHERE { ?s :a* ?o FILTER(?o != ?s) }", "Filter, 2RPQ"},
+		{"SELECT * WHERE { ?s ?p ?o OPTIONAL { ?s :n ?n } }", "beyond"},
+		{"SELECT * WHERE { { ?s a :A } UNION { ?s a :B } }", "beyond"},
+	}
+	for _, c := range cases {
+		q := MustParse(c.src)
+		if got := q.Operators().Name(); got != c.name {
+			t.Errorf("Operators(%q) = %q, want %q", c.src, got, c.name)
+		}
+	}
+	// Modifiers do not affect the pattern's operator set (Table 4 counts
+	// queries whose BODY is conjunctive even with aggregation on top).
+	q := MustParse("SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?s")
+	if !q.IsCQ() {
+		t.Error("aggregation should not affect IsCQ")
+	}
+}
+
+func TestSafeAndSimpleFilters(t *testing.T) {
+	getFilter := func(src string) *Expr {
+		q := MustParse(src)
+		var e *Expr
+		q.Walk(func(p *Pattern) {
+			if p.Kind == PFilter {
+				e = p.Expr
+			}
+		})
+		if e == nil {
+			t.Fatalf("no filter in %q", src)
+		}
+		return e
+	}
+	safe := []string{
+		"SELECT * WHERE { ?s ?p ?o FILTER(?o > 3) }",
+		"SELECT * WHERE { ?s ?p ?o FILTER(lang(?o) = \"en\") }",
+		"SELECT * WHERE { ?s ?p ?o FILTER(?s = ?o) }",
+	}
+	for _, src := range safe {
+		if !getFilter(src).IsSafeFilter() {
+			t.Errorf("filter of %q should be safe", src)
+		}
+	}
+	unsafeButSimple := []string{
+		"SELECT * WHERE { ?s ?p ?o FILTER(?s != ?o) }",
+		"SELECT * WHERE { ?s ?p ?o FILTER(?s < ?o) }",
+	}
+	for _, src := range unsafeButSimple {
+		e := getFilter(src)
+		if e.IsSafeFilter() {
+			t.Errorf("filter of %q should not be safe", src)
+		}
+		if !e.IsSimpleFilter() {
+			t.Errorf("filter of %q should be simple", src)
+		}
+	}
+	ternary := getFilter("SELECT * WHERE { ?a ?b ?c FILTER(?a = ?b && ?b = ?c) }")
+	if ternary.IsSimpleFilter() {
+		t.Error("three-variable filter should not be simple")
+	}
+}
+
+func TestCanonicalDedup(t *testing.T) {
+	a := MustParse("SELECT ?s WHERE { ?s ?p ?o }")
+	b := MustParse("  SELECT   ?s\nWHERE {\n  ?s ?p ?o .\n}")
+	if a.Canonical() != b.Canonical() {
+		t.Errorf("whitespace variants should dedup:\n%q\n%q", a.Canonical(), b.Canonical())
+	}
+	c := MustParse("SELECT ?s WHERE { ?s ?p ?x }")
+	if a.Canonical() == c.Canonical() {
+		t.Error("different queries should not dedup")
+	}
+	// prefix expansion
+	d := MustParse("PREFIX f: <http://x/> SELECT ?s WHERE { ?s f:p ?o }")
+	e := MustParse("PREFIX g: <http://x/> SELECT ?s WHERE { ?s g:p ?o }")
+	if d.Canonical() != e.Canonical() {
+		t.Errorf("prefix variants should dedup:\n%q\n%q", d.Canonical(), e.Canonical())
+	}
+}
+
+func TestAggregateFeatures(t *testing.T) {
+	q := MustParse("SELECT (AVG(?x) AS ?a) (SUM(?y) AS ?s) WHERE { ?s :v ?x ; :w ?y } GROUP BY ?s HAVING (MAX(?x) > 2)")
+	f := q.Features()
+	for _, want := range []Feature{FAvg, FSum, FMax, FGroupBy, FHaving} {
+		if !f[want] {
+			t.Errorf("missing feature %s", want)
+		}
+	}
+}
+
+func TestServiceFeature(t *testing.T) {
+	// The wikibase:label service is the most common SERVICE usage in
+	// Wikidata logs (Section 9.4).
+	q := MustParse(`SELECT ?item ?itemLabel WHERE {
+		?item wdt:P31 wd:Q146 .
+		SERVICE wikibase:label { bd:serviceParam wikibase:language "en" }
+	}`)
+	if !q.Features()[FService] {
+		t.Error("SERVICE feature missing")
+	}
+	if q.IsC2RPQF() {
+		t.Error("SERVICE is beyond C2RPQ+F")
+	}
+}
+
+func TestDescribeWithoutPattern(t *testing.T) {
+	q := MustParse("DESCRIBE <http://ex.org/e>")
+	if q.Where != nil {
+		t.Error("DESCRIBE without pattern should have nil Where")
+	}
+	if q.TripleCount() != 0 {
+		t.Error("no triples expected")
+	}
+}
+
+func TestCanonicalStable(t *testing.T) {
+	src := wikidataExample
+	c1 := MustParse(src).Canonical()
+	c2 := MustParse(src).Canonical()
+	if c1 != c2 {
+		t.Error("Canonical must be deterministic")
+	}
+	if !strings.Contains(c1, "wdt:P31/wdt:P279*") {
+		t.Errorf("canonical lost the property path: %q", c1)
+	}
+}

@@ -1,0 +1,416 @@
+// Package xmllite implements a small XML processor sufficient for the
+// well-formedness study of Grijzenhout & Marx reported in Section 3.1 of
+// "Towards Theory for Real-World Data": 85% of 180k crawled XML files were
+// well-formed, 9 of 74 error categories accounted for 99% of errors, and
+// the top three — opening/ending tag mismatch, premature end of data in a
+// tag, improper UTF-8 encoding — accounted for 79.9%.
+//
+// The checker classifies documents into those categories; the companion
+// corpus generator (corpus.go) injects faults at calibrated rates so the
+// study can be replayed end-to-end by classification rather than by
+// construction.
+//
+// The parser abstracts documents as node-labeled trees (element names as
+// labels), exactly as in Figure 1 and Example 3.1; attributes and text are
+// recorded but not part of the tree abstraction.
+package xmllite
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf8"
+
+	"repro/internal/tree"
+)
+
+// ErrorCategory classifies a well-formedness violation, following the
+// taxonomy of the Grijzenhout & Marx study.
+type ErrorCategory int
+
+// Well-formedness error categories. The first three are the study's
+// dominant ones (79.9% of all errors).
+const (
+	ErrNone          ErrorCategory = iota
+	ErrTagMismatch                 // opening and ending tag mismatch
+	ErrPrematureEnd                // premature end of data in a tag
+	ErrBadUTF8                     // improper UTF-8 encoding
+	ErrBadEntity                   // unescaped & or unknown entity reference
+	ErrBadAttribute                // malformed attribute (unquoted value, missing =)
+	ErrDuplicateAttr               // duplicate attribute name on one element
+	ErrMultipleRoots               // content after the root element
+	ErrBadName                     // invalid character in a tag or attribute name
+	ErrStrayLT                     // raw '<' in character content
+	ErrEmptyDocument               // no root element at all
+)
+
+var categoryNames = map[ErrorCategory]string{
+	ErrNone:          "well-formed",
+	ErrTagMismatch:   "tag mismatch",
+	ErrPrematureEnd:  "premature end",
+	ErrBadUTF8:       "improper UTF-8",
+	ErrBadEntity:     "bad entity reference",
+	ErrBadAttribute:  "malformed attribute",
+	ErrDuplicateAttr: "duplicate attribute",
+	ErrMultipleRoots: "multiple root elements",
+	ErrBadName:       "invalid name",
+	ErrStrayLT:       "stray '<' in content",
+	ErrEmptyDocument: "empty document",
+}
+
+func (c ErrorCategory) String() string { return categoryNames[c] }
+
+// Error is a well-formedness violation with its category and position.
+type Error struct {
+	Category ErrorCategory
+	Offset   int
+	Msg      string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("xml: %s at offset %d: %s", e.Category, e.Offset, e.Msg)
+}
+
+// Attr is an attribute name/value pair.
+type Attr struct {
+	Name, Value string
+}
+
+// Element is a parsed XML element. Tree (via AsTree) projects away
+// attributes and text, yielding the paper's node-labeled tree abstraction.
+type Element struct {
+	Name     string
+	Attrs    []Attr
+	Children []*Element
+	Text     strings.Builder
+}
+
+// AsTree converts the element tree to the node-labeled tree abstraction of
+// Section 3.
+func (e *Element) AsTree() *tree.Node {
+	n := tree.New(e.Name)
+	for _, c := range e.Children {
+		n.Add(c.AsTree())
+	}
+	return n
+}
+
+// Parse checks well-formedness and parses the document. On failure it
+// returns a *Error carrying the category of the FIRST violation, matching
+// the study's per-document classification.
+func Parse(doc string) (*Element, *Error) {
+	p := &scanner{src: doc}
+	return p.parseDocument()
+}
+
+// Check returns the error category of the document, or ErrNone when it is
+// well-formed.
+func Check(doc string) ErrorCategory {
+	_, err := Parse(doc)
+	if err == nil {
+		return ErrNone
+	}
+	return err.Category
+}
+
+type scanner struct {
+	src string
+	pos int
+}
+
+func (s *scanner) err(cat ErrorCategory, format string, args ...interface{}) *Error {
+	return &Error{Category: cat, Offset: s.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (s *scanner) parseDocument() (*Element, *Error) {
+	if !utf8.ValidString(s.src) {
+		return nil, s.err(ErrBadUTF8, "document is not valid UTF-8")
+	}
+	s.skipMisc()
+	if s.pos >= len(s.src) {
+		return nil, s.err(ErrEmptyDocument, "no root element")
+	}
+	if s.src[s.pos] != '<' {
+		return nil, s.err(ErrStrayLT, "content before root element")
+	}
+	root, err := s.parseElement()
+	if err != nil {
+		return nil, err
+	}
+	s.skipMisc()
+	if s.pos < len(s.src) {
+		if s.src[s.pos] == '<' {
+			return nil, s.err(ErrMultipleRoots, "second root element")
+		}
+		return nil, s.err(ErrMultipleRoots, "character content after root element")
+	}
+	return root, nil
+}
+
+// skipMisc skips whitespace, comments, processing instructions, XML
+// declarations and doctype declarations.
+func (s *scanner) skipMisc() {
+	for {
+		for s.pos < len(s.src) && isSpace(s.src[s.pos]) {
+			s.pos++
+		}
+		switch {
+		case strings.HasPrefix(s.src[s.pos:], "<?"):
+			end := strings.Index(s.src[s.pos:], "?>")
+			if end < 0 {
+				s.pos = len(s.src)
+				return
+			}
+			s.pos += end + 2
+		case strings.HasPrefix(s.src[s.pos:], "<!--"):
+			end := strings.Index(s.src[s.pos+4:], "-->")
+			if end < 0 {
+				s.pos = len(s.src)
+				return
+			}
+			s.pos += 4 + end + 3
+		case strings.HasPrefix(s.src[s.pos:], "<!DOCTYPE"):
+			// skip to matching '>' (internal subsets with [] supported)
+			depth := 0
+			closed := false
+			for i := s.pos; i < len(s.src) && !closed; i++ {
+				switch s.src[i] {
+				case '[':
+					depth++
+				case ']':
+					depth--
+				case '>':
+					if depth <= 0 {
+						s.pos = i + 1
+						closed = true
+					}
+				}
+			}
+			if !closed {
+				s.pos = len(s.src)
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isSpace(b byte) bool { return b == ' ' || b == '\t' || b == '\n' || b == '\r' }
+
+func isNameStart(b byte) bool {
+	return b == '_' || b == ':' || (b >= 'A' && b <= 'Z') || (b >= 'a' && b <= 'z') || b >= 0x80
+}
+
+func isNameByte(b byte) bool {
+	return isNameStart(b) || b == '-' || b == '.' || (b >= '0' && b <= '9')
+}
+
+func (s *scanner) parseName() (string, *Error) {
+	start := s.pos
+	if s.pos >= len(s.src) {
+		return "", s.err(ErrPrematureEnd, "end of data in name")
+	}
+	if !isNameStart(s.src[s.pos]) {
+		return "", s.err(ErrBadName, "invalid name start character %q", s.src[s.pos])
+	}
+	for s.pos < len(s.src) && isNameByte(s.src[s.pos]) {
+		s.pos++
+	}
+	return s.src[start:s.pos], nil
+}
+
+// parseElement parses an element starting at '<'.
+func (s *scanner) parseElement() (*Element, *Error) {
+	s.pos++ // consume '<'
+	name, err := s.parseName()
+	if err != nil {
+		return nil, err
+	}
+	el := &Element{Name: name}
+	seen := map[string]bool{}
+	// attributes
+	for {
+		hadSpace := false
+		for s.pos < len(s.src) && isSpace(s.src[s.pos]) {
+			s.pos++
+			hadSpace = true
+		}
+		if s.pos >= len(s.src) {
+			return nil, s.err(ErrPrematureEnd, "end of data in tag <%s", name)
+		}
+		switch s.src[s.pos] {
+		case '>':
+			s.pos++
+			if err := s.parseContent(el); err != nil {
+				return nil, err
+			}
+			return el, nil
+		case '/':
+			if s.pos+1 >= len(s.src) {
+				return nil, s.err(ErrPrematureEnd, "end of data in tag <%s", name)
+			}
+			if s.src[s.pos+1] != '>' {
+				return nil, s.err(ErrBadName, "invalid character after '/' in tag")
+			}
+			s.pos += 2
+			return el, nil
+		default:
+			if !hadSpace {
+				return nil, s.err(ErrBadName, "invalid character %q in tag <%s", s.src[s.pos], name)
+			}
+			attr, err := s.parseAttr(name)
+			if err != nil {
+				return nil, err
+			}
+			if seen[attr.Name] {
+				return nil, s.err(ErrDuplicateAttr, "duplicate attribute %q on <%s>", attr.Name, name)
+			}
+			seen[attr.Name] = true
+			el.Attrs = append(el.Attrs, attr)
+		}
+	}
+}
+
+func (s *scanner) parseAttr(elName string) (Attr, *Error) {
+	name, err := s.parseName()
+	if err != nil {
+		return Attr{}, err
+	}
+	for s.pos < len(s.src) && isSpace(s.src[s.pos]) {
+		s.pos++
+	}
+	if s.pos >= len(s.src) {
+		return Attr{}, s.err(ErrPrematureEnd, "end of data in tag <%s", elName)
+	}
+	if s.src[s.pos] != '=' {
+		return Attr{}, s.err(ErrBadAttribute, "missing '=' after attribute %q", name)
+	}
+	s.pos++
+	for s.pos < len(s.src) && isSpace(s.src[s.pos]) {
+		s.pos++
+	}
+	if s.pos >= len(s.src) {
+		return Attr{}, s.err(ErrPrematureEnd, "end of data in tag <%s", elName)
+	}
+	quote := s.src[s.pos]
+	if quote != '"' && quote != '\'' {
+		return Attr{}, s.err(ErrBadAttribute, "attribute %q value is not quoted", name)
+	}
+	s.pos++
+	start := s.pos
+	for s.pos < len(s.src) && s.src[s.pos] != quote {
+		if s.src[s.pos] == '<' {
+			return Attr{}, s.err(ErrStrayLT, "'<' in attribute value")
+		}
+		if s.src[s.pos] == '&' {
+			if e := s.checkEntity(); e != nil {
+				return Attr{}, e
+			}
+			continue
+		}
+		s.pos++
+	}
+	if s.pos >= len(s.src) {
+		return Attr{}, s.err(ErrPrematureEnd, "unterminated attribute value")
+	}
+	val := s.src[start:s.pos]
+	s.pos++
+	return Attr{Name: name, Value: val}, nil
+}
+
+// checkEntity validates an entity reference starting at '&'.
+func (s *scanner) checkEntity() *Error {
+	rest := s.src[s.pos:]
+	for _, ent := range []string{"&amp;", "&lt;", "&gt;", "&quot;", "&apos;"} {
+		if strings.HasPrefix(rest, ent) {
+			s.pos += len(ent)
+			return nil
+		}
+	}
+	// character references &#123; and &#x1F;
+	if strings.HasPrefix(rest, "&#") {
+		i := 2
+		if i < len(rest) && (rest[i] == 'x' || rest[i] == 'X') {
+			i++
+		}
+		digits := 0
+		for i < len(rest) && rest[i] != ';' && digits < 8 {
+			i++
+			digits++
+		}
+		if digits > 0 && i < len(rest) && rest[i] == ';' {
+			s.pos += i + 1
+			return nil
+		}
+	}
+	return s.err(ErrBadEntity, "unescaped '&' or unknown entity")
+}
+
+// parseContent parses element content until the matching end tag.
+func (s *scanner) parseContent(el *Element) *Error {
+	for {
+		if s.pos >= len(s.src) {
+			return s.err(ErrPrematureEnd, "missing end tag </%s>", el.Name)
+		}
+		c := s.src[s.pos]
+		switch {
+		case c == '<':
+			switch {
+			case strings.HasPrefix(s.src[s.pos:], "</"):
+				s.pos += 2
+				name, err := s.parseName()
+				if err != nil {
+					return err
+				}
+				for s.pos < len(s.src) && isSpace(s.src[s.pos]) {
+					s.pos++
+				}
+				if s.pos >= len(s.src) {
+					return s.err(ErrPrematureEnd, "end of data in end tag </%s", name)
+				}
+				if s.src[s.pos] != '>' {
+					return s.err(ErrBadName, "invalid character in end tag </%s", name)
+				}
+				s.pos++
+				if name != el.Name {
+					return s.err(ErrTagMismatch, "end tag </%s> does not match <%s>", name, el.Name)
+				}
+				return nil
+			case strings.HasPrefix(s.src[s.pos:], "<!--"):
+				end := strings.Index(s.src[s.pos+4:], "-->")
+				if end < 0 {
+					return s.err(ErrPrematureEnd, "unterminated comment")
+				}
+				s.pos += 4 + end + 3
+			case strings.HasPrefix(s.src[s.pos:], "<![CDATA["):
+				end := strings.Index(s.src[s.pos+9:], "]]>")
+				if end < 0 {
+					return s.err(ErrPrematureEnd, "unterminated CDATA section")
+				}
+				el.Text.WriteString(s.src[s.pos+9 : s.pos+9+end])
+				s.pos += 9 + end + 3
+			case strings.HasPrefix(s.src[s.pos:], "<?"):
+				end := strings.Index(s.src[s.pos:], "?>")
+				if end < 0 {
+					return s.err(ErrPrematureEnd, "unterminated processing instruction")
+				}
+				s.pos += end + 2
+			case s.pos+1 < len(s.src) && isNameStart(s.src[s.pos+1]):
+				child, err := s.parseElement()
+				if err != nil {
+					return err
+				}
+				el.Children = append(el.Children, child)
+			default:
+				return s.err(ErrStrayLT, "unescaped '<' in content of <%s>", el.Name)
+			}
+		case c == '&':
+			if err := s.checkEntity(); err != nil {
+				return err
+			}
+		default:
+			el.Text.WriteByte(c)
+			s.pos++
+		}
+	}
+}

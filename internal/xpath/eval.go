@@ -1,0 +1,152 @@
+package xpath
+
+import (
+	"repro/internal/tree"
+)
+
+// Eval evaluates the expression over a tree for the downward navigational
+// fragment (child, descendant(-or-self), self; name and * tests;
+// existential path predicates combined with and/or/not). It returns the
+// selected nodes in document order. Expressions outside the supported
+// fragment return (nil, false).
+//
+// Downward XPath is exactly the fragment whose practical prevalence
+// Section 5 reports (and tree patterns are the and-only special case), so
+// an executable semantics for it lets the tests validate the classifiers
+// against behaviour rather than syntax alone.
+func Eval(e *Expr, root *tree.Node) ([]*tree.Node, bool) {
+	if !e.IsDownward() {
+		return nil, false
+	}
+	if !supported(e) {
+		return nil, false
+	}
+	seen := map[*tree.Node]bool{}
+	var out []*tree.Node
+	for _, p := range e.Paths {
+		for _, n := range evalPath(p, root) {
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	// document order
+	order := map[*tree.Node]int{}
+	i := 0
+	root.Walk(func(n *tree.Node) {
+		order[n] = i
+		i++
+	})
+	sortNodes(out, order)
+	return out, true
+}
+
+func sortNodes(ns []*tree.Node, order map[*tree.Node]int) {
+	for i := 1; i < len(ns); i++ {
+		for j := i; j > 0 && order[ns[j]] < order[ns[j-1]]; j-- {
+			ns[j], ns[j-1] = ns[j-1], ns[j]
+		}
+	}
+}
+
+func supported(e *Expr) bool {
+	ok := true
+	e.walkPreds(func(pr *Pred) {
+		switch pr.Kind {
+		case PredPath, PredAnd, PredOr, PredNot:
+		default:
+			ok = false
+		}
+	})
+	return ok
+}
+
+// evalPath evaluates an absolute path from root, or a relative path with
+// root as context node.
+func evalPath(p *Path, root *tree.Node) []*tree.Node {
+	// Absolute paths start at a virtual document node whose only child is
+	// the root element; "/persons" must select the root element itself.
+	doc := tree.New("\x00doc")
+	doc.Children = []*tree.Node{root}
+	cur := []*tree.Node{doc}
+	if !p.Absolute {
+		cur = []*tree.Node{root}
+	}
+	for _, s := range p.Steps {
+		var next []*tree.Node
+		seen := map[*tree.Node]bool{}
+		add := func(n *tree.Node) {
+			if !seen[n] {
+				seen[n] = true
+				next = append(next, n)
+			}
+		}
+		for _, c := range cur {
+			for _, cand := range axisNodes(s.Axis, c) {
+				if !testMatches(s.Test, cand) {
+					continue
+				}
+				if predsHold(s.Predicates, cand) {
+					add(cand)
+				}
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+func axisNodes(a Axis, n *tree.Node) []*tree.Node {
+	switch a {
+	case AxisChild:
+		return n.Children
+	case AxisSelf:
+		return []*tree.Node{n}
+	case AxisDescendant:
+		var out []*tree.Node
+		for _, c := range n.Children {
+			c.Walk(func(m *tree.Node) { out = append(out, m) })
+		}
+		return out
+	case AxisDescendantOrSelf:
+		var out []*tree.Node
+		n.Walk(func(m *tree.Node) { out = append(out, m) })
+		return out
+	}
+	return nil
+}
+
+func testMatches(test string, n *tree.Node) bool {
+	switch test {
+	case "*", "node()":
+		return true
+	case "text()":
+		return false // trees abstract text away (Example 3.1)
+	default:
+		return n.Label == test
+	}
+}
+
+func predsHold(prs []*Pred, n *tree.Node) bool {
+	for _, pr := range prs {
+		if !predHolds(pr, n) {
+			return false
+		}
+	}
+	return true
+}
+
+func predHolds(pr *Pred, n *tree.Node) bool {
+	switch pr.Kind {
+	case PredPath:
+		return len(evalPath(pr.PathVal, n)) > 0
+	case PredAnd:
+		return predHolds(pr.Subs[0], n) && predHolds(pr.Subs[1], n)
+	case PredOr:
+		return predHolds(pr.Subs[0], n) || predHolds(pr.Subs[1], n)
+	case PredNot:
+		return !predHolds(pr.Subs[0], n)
+	}
+	return false
+}

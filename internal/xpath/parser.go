@@ -1,0 +1,358 @@
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses an XPath expression in the navigational fragment with
+// abbreviations: 'a/b' (child), '//a' (descendant-or-self step), '@x'
+// (attribute), '.', '..', explicit 'axis::test', predicates '[…]' with
+// and/or/not, value comparisons, numbers, string literals, and a few core
+// functions. Unions with '|' at top level.
+func Parse(s string) (*Expr, error) {
+	p := &xparser{src: s}
+	e, err := p.parseUnion()
+	if err != nil {
+		return nil, err
+	}
+	p.skip()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("xpath: trailing input %q in %q", p.src[p.pos:], p.src)
+	}
+	return e, nil
+}
+
+// MustParse panics on error.
+func MustParse(s string) *Expr {
+	e, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type xparser struct {
+	src string
+	pos int
+}
+
+func (p *xparser) skip() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *xparser) peekByte() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *xparser) hasPrefix(s string) bool { return strings.HasPrefix(p.src[p.pos:], s) }
+
+func (p *xparser) parseUnion() (*Expr, error) {
+	first, err := p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	e := &Expr{Paths: []*Path{first}}
+	for {
+		p.skip()
+		if p.peekByte() != '|' {
+			return e, nil
+		}
+		p.pos++
+		next, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		e.Paths = append(e.Paths, next)
+	}
+}
+
+func (p *xparser) parsePath() (*Path, error) {
+	p.skip()
+	path := &Path{}
+	switch {
+	case p.hasPrefix("//"):
+		path.Absolute = true
+		p.pos += 2
+		path.Steps = append(path.Steps, &Step{Axis: AxisDescendantOrSelf, Test: "node()"})
+	case p.peekByte() == '/':
+		path.Absolute = true
+		p.pos++
+		if p.pos >= len(p.src) || !isStepStart(p.src[p.pos]) {
+			// bare "/" selects the root
+			return path, nil
+		}
+	}
+	for {
+		step, err := p.parseStep()
+		if err != nil {
+			return nil, err
+		}
+		path.Steps = append(path.Steps, step)
+		p.skip()
+		switch {
+		case p.hasPrefix("//"):
+			p.pos += 2
+			path.Steps = append(path.Steps, &Step{Axis: AxisDescendantOrSelf, Test: "node()"})
+		case p.peekByte() == '/':
+			p.pos++
+		default:
+			return path, nil
+		}
+	}
+}
+
+func isStepStart(b byte) bool {
+	return b == '@' || b == '.' || b == '*' || b == '_' ||
+		(b >= 'A' && b <= 'Z') || (b >= 'a' && b <= 'z') || b >= 0x80
+}
+
+func (p *xparser) parseStep() (*Step, error) {
+	p.skip()
+	step := &Step{Axis: AxisChild}
+	switch {
+	case p.hasPrefix(".."):
+		p.pos += 2
+		step.Axis, step.Test = AxisParent, "node()"
+		return p.parsePredicates(step)
+	case p.peekByte() == '.':
+		p.pos++
+		step.Axis, step.Test = AxisSelf, "node()"
+		return p.parsePredicates(step)
+	case p.peekByte() == '@':
+		p.pos++
+		step.Axis = AxisAttribute
+	}
+	// explicit axis?
+	save := p.pos
+	name := p.parseName()
+	if p.hasPrefix("::") {
+		axis, ok := axisByName[name]
+		if !ok {
+			return nil, fmt.Errorf("xpath: unknown axis %q in %q", name, p.src)
+		}
+		if step.Axis == AxisAttribute {
+			return nil, fmt.Errorf("xpath: '@' combined with explicit axis in %q", p.src)
+		}
+		step.Axis = axis
+		p.pos += 2
+		name = p.parseName()
+		save = -1
+	}
+	switch {
+	case name == "" && p.peekByte() == '*':
+		p.pos++
+		step.Test = "*"
+	case name == "node" && p.hasPrefix("()"):
+		p.pos += 2
+		step.Test = "node()"
+	case name == "text" && p.hasPrefix("()"):
+		p.pos += 2
+		step.Test = "text()"
+	case name != "":
+		if p.peekByte() == '(' {
+			return nil, fmt.Errorf("xpath: unsupported node test %q() in %q", name, p.src)
+		}
+		step.Test = name
+	default:
+		if save >= 0 {
+			p.pos = save
+		}
+		return nil, fmt.Errorf("xpath: expected step at offset %d in %q", p.pos, p.src)
+	}
+	return p.parsePredicates(step)
+}
+
+func (p *xparser) parseName() string {
+	start := p.pos
+	for p.pos < len(p.src) && isNameRune(rune(p.src[p.pos])) {
+		p.pos++
+	}
+	s := p.src[start:p.pos]
+	// '::' boundary: don't eat axis separator colons as part of name
+	if i := strings.Index(s, "::"); i >= 0 {
+		p.pos = start + i
+		return s[:i]
+	}
+	return s
+}
+
+func (p *xparser) parsePredicates(step *Step) (*Step, error) {
+	for {
+		p.skip()
+		if p.peekByte() != '[' {
+			return step, nil
+		}
+		p.pos++
+		pr, err := p.parsePredOr()
+		if err != nil {
+			return nil, err
+		}
+		p.skip()
+		if p.peekByte() != ']' {
+			return nil, fmt.Errorf("xpath: missing ']' in %q", p.src)
+		}
+		p.pos++
+		step.Predicates = append(step.Predicates, pr)
+	}
+}
+
+func (p *xparser) parsePredOr() (*Pred, error) {
+	left, err := p.parsePredAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skip()
+		if !p.keywordAhead("or") {
+			return left, nil
+		}
+		p.pos += 2
+		right, err := p.parsePredAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &Pred{Kind: PredOr, Subs: []*Pred{left, right}}
+	}
+}
+
+func (p *xparser) parsePredAnd() (*Pred, error) {
+	left, err := p.parsePredCompare()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skip()
+		if !p.keywordAhead("and") {
+			return left, nil
+		}
+		p.pos += 3
+		right, err := p.parsePredCompare()
+		if err != nil {
+			return nil, err
+		}
+		left = &Pred{Kind: PredAnd, Subs: []*Pred{left, right}}
+	}
+}
+
+// keywordAhead reports whether the keyword occurs here as a word.
+func (p *xparser) keywordAhead(kw string) bool {
+	if !p.hasPrefix(kw) {
+		return false
+	}
+	after := p.pos + len(kw)
+	if after < len(p.src) && isNameRune(rune(p.src[after])) {
+		return false
+	}
+	return true
+}
+
+var compareOps = []string{"!=", "<=", ">=", "=", "<", ">"}
+
+func (p *xparser) parsePredCompare() (*Pred, error) {
+	left, err := p.parsePredAtom()
+	if err != nil {
+		return nil, err
+	}
+	p.skip()
+	for _, op := range compareOps {
+		if p.hasPrefix(op) {
+			p.pos += len(op)
+			right, err := p.parsePredAtom()
+			if err != nil {
+				return nil, err
+			}
+			return &Pred{Kind: PredCompare, Op: op, Subs: []*Pred{left, right}}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *xparser) parsePredAtom() (*Pred, error) {
+	p.skip()
+	b := p.peekByte()
+	switch {
+	case b == '(':
+		p.pos++
+		inner, err := p.parsePredOr()
+		if err != nil {
+			return nil, err
+		}
+		p.skip()
+		if p.peekByte() != ')' {
+			return nil, fmt.Errorf("xpath: missing ')' in %q", p.src)
+		}
+		p.pos++
+		return inner, nil
+	case b == '\'' || b == '"':
+		quote := b
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != quote {
+			p.pos++
+		}
+		if p.pos >= len(p.src) {
+			return nil, fmt.Errorf("xpath: unterminated literal in %q", p.src)
+		}
+		lit := p.src[start:p.pos]
+		p.pos++
+		return &Pred{Kind: PredLiteral, Literal: lit}, nil
+	case b >= '0' && b <= '9':
+		start := p.pos
+		for p.pos < len(p.src) && (p.src[p.pos] >= '0' && p.src[p.pos] <= '9' || p.src[p.pos] == '.') {
+			p.pos++
+		}
+		f, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+		if err != nil {
+			return nil, fmt.Errorf("xpath: bad number %q", p.src[start:p.pos])
+		}
+		return &Pred{Kind: PredNumber, Number: f}, nil
+	}
+	// not(...) and other functions — only when followed by '('
+	save := p.pos
+	name := p.parseName()
+	if name != "" && p.peekByte() == '(' {
+		p.pos++
+		var args []*Pred
+		p.skip()
+		if p.peekByte() != ')' {
+			for {
+				arg, err := p.parsePredOr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, arg)
+				p.skip()
+				if p.peekByte() == ',' {
+					p.pos++
+					continue
+				}
+				break
+			}
+		}
+		if p.peekByte() != ')' {
+			return nil, fmt.Errorf("xpath: missing ')' after %s( in %q", name, p.src)
+		}
+		p.pos++
+		if name == "not" {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("xpath: not() takes one argument")
+			}
+			return &Pred{Kind: PredNot, Subs: args}, nil
+		}
+		return &Pred{Kind: PredFunc, FuncName: name, Subs: args}, nil
+	}
+	p.pos = save
+	// otherwise: a relative (or absolute) path predicate
+	path, err := p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	return &Pred{Kind: PredPath, PathVal: path}, nil
+}

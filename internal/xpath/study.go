@@ -1,0 +1,191 @@
+package xpath
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// This file replays the XPath corpus studies of Section 5: Baelde, Lick &
+// Schmitz (21.1k queries: power-law size distribution, majority of size
+// ≤ 13 but 256 queries of size ≥ 100; axis usage child 31.1%, attribute
+// 17.1%, descendant(-or-self) 3.6%, ancestor(-or-self) 3.6%; fragment
+// coverage ≈25–30% syntactic) and Pasqua (95k expressions, over 90% tree
+// patterns).
+
+// StudyResult aggregates the per-corpus statistics.
+type StudyResult struct {
+	Total       int
+	ParseErrors int
+	// Sizes is the multiset of syntax-tree sizes.
+	Sizes []int
+	// AxisUse counts the queries (not occurrences) using each axis.
+	AxisUse map[Axis]int
+	// UsesAxes counts queries with at least one non-child-abbreviated axis
+	// occurrence (the study's "axes were used in 46.5%").
+	UsesAxes int
+	// Fragment membership counts (syntactic).
+	Positive, Core, Downward, TreePatterns int
+}
+
+// SizeQuantile returns the q-quantile of the size distribution.
+func (r *StudyResult) SizeQuantile(q float64) int {
+	if len(r.Sizes) == 0 {
+		return 0
+	}
+	s := append([]int(nil), r.Sizes...)
+	sort.Ints(s)
+	i := int(q * float64(len(s)-1))
+	return s[i]
+}
+
+// RunStudy parses and classifies a corpus of XPath strings.
+func RunStudy(queries []string) *StudyResult {
+	res := &StudyResult{AxisUse: map[Axis]int{}}
+	for _, q := range queries {
+		e, err := Parse(q)
+		if err != nil {
+			res.ParseErrors++
+			continue
+		}
+		res.Total++
+		res.Sizes = append(res.Sizes, e.Size())
+		axes := e.Axes()
+		usesBeyondChild := false
+		for a, n := range axes {
+			if n > 0 {
+				res.AxisUse[a]++
+				if a != AxisChild && a != AxisDescendantOrSelf {
+					usesBeyondChild = true
+				}
+			}
+		}
+		// "//" desugars to descendant-or-self; the study counts axis usage
+		// from the explicit syntax, which we approximate by counting any
+		// query with an attribute or upward/sideways axis, or an explicit
+		// descendant step.
+		if usesBeyondChild {
+			res.UsesAxes++
+		}
+		if e.IsPositive() {
+			res.Positive++
+		}
+		if e.IsCoreXPath() {
+			res.Core++
+		}
+		if e.IsDownward() {
+			res.Downward++
+		}
+		if e.IsTreePattern() {
+			res.TreePatterns++
+		}
+	}
+	return res
+}
+
+// PowerLawAlpha estimates the exponent of a discrete power law fitted to
+// the size distribution (maximum-likelihood, xmin = 1):
+// α = 1 + n / Σ ln(x_i / (xmin − 1/2)).
+func (r *StudyResult) PowerLawAlpha() float64 {
+	if len(r.Sizes) == 0 {
+		return 0
+	}
+	sum := 0.0
+	n := 0
+	for _, x := range r.Sizes {
+		if x >= 1 {
+			sum += math.Log(float64(x) / 0.5)
+			n++
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return 1 + float64(n)/sum
+}
+
+// Gen generates a synthetic XPath corpus calibrated to the Section 5
+// studies: power-law sizes, child/attribute-dominated axis mix, and a
+// majority of tree patterns.
+type Gen struct {
+	Labels []string
+	// TailProb controls the power-law size tail.
+	TailProb float64
+}
+
+// DefaultGen returns the calibrated generator.
+func DefaultGen() *Gen {
+	return &Gen{
+		Labels:   []string{"person", "name", "birthplace", "city", "state", "item", "title", "author", "entry", "a", "b", "div"},
+		TailProb: 0.25,
+	}
+}
+
+// Query emits one XPath string.
+func (g *Gen) Query(r *rand.Rand) string {
+	// power-law-ish length: 1 + geometric with heavy tail
+	steps := 1
+	for r.Float64() < 0.55 {
+		steps++
+	}
+	if r.Float64() < 0.02 {
+		steps += 20 + r.Intn(80) // the long tail (size ≥ 100 for a few queries)
+	}
+	var b strings.Builder
+	if r.Float64() < 0.7 {
+		b.WriteByte('/')
+	}
+	for i := 0; i < steps; i++ {
+		if i > 0 {
+			b.WriteByte('/')
+		}
+		switch x := r.Float64(); {
+		case x < 0.04:
+			b.WriteString("/") // '//' step
+			b.WriteString(g.label(r))
+		case x < 0.21:
+			b.WriteByte('@')
+			b.WriteString(g.label(r))
+		case x < 0.225:
+			fmt.Fprintf(&b, "ancestor::%s", g.label(r))
+		case x < 0.24:
+			fmt.Fprintf(&b, "following-sibling::%s", g.label(r))
+		case x < 0.30:
+			b.WriteString("*")
+		default:
+			b.WriteString(g.label(r))
+		}
+		// predicates: mostly path-existence (tree patterns), occasionally
+		// comparisons or negation
+		if r.Float64() < 0.25 {
+			switch x := r.Float64(); {
+			case x < 0.85:
+				fmt.Fprintf(&b, "[%s]", g.label(r))
+			case x < 0.91:
+				fmt.Fprintf(&b, "[@%s='%d']", g.label(r), r.Intn(10))
+			case x < 0.94:
+				fmt.Fprintf(&b, "[not(%s)]", g.label(r))
+			case x < 0.97:
+				fmt.Fprintf(&b, "[%s or %s]", g.label(r), g.label(r))
+			default:
+				fmt.Fprintf(&b, "[%d]", 1+r.Intn(5))
+			}
+		}
+	}
+	return b.String()
+}
+
+func (g *Gen) label(r *rand.Rand) string {
+	return g.Labels[r.Intn(len(g.Labels))]
+}
+
+// Corpus emits n queries.
+func (g *Gen) Corpus(r *rand.Rand, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = g.Query(r)
+	}
+	return out
+}

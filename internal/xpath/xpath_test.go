@@ -1,0 +1,271 @@
+package xpath
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+func TestParseBasics(t *testing.T) {
+	cases := []struct {
+		in    string
+		steps int // steps of the first path
+	}{
+		{"/persons/person", 2},
+		{"//h", 2}, // descendant-or-self::node() + child::h
+		{"person/name", 2},
+		{"/a//b", 3},
+		{"a[b]/c", 2},
+		{"@id", 1},
+		{"a/@id", 2},
+		{"ancestor::x", 1},
+		{"a/following-sibling::b", 2},
+		{".", 1},
+		{"..", 1},
+		{"a[@x='1' and not(b)]", 1},
+		{"a[1]", 1},
+		{"a[count(b)=2]", 1},
+		{"a | b/c", 1},
+		{"a[b or c]", 1},
+		{"*[x]/*", 2},
+		{"a[.//b]", 1},
+	}
+	for _, c := range cases {
+		e, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if len(e.Paths[0].Steps) != c.steps {
+			t.Errorf("Parse(%q): %d steps, want %d (ast %s)", c.in, len(e.Paths[0].Steps), c.steps, e)
+		}
+	}
+	for _, bad := range []string{"", "a[", "a[]", "a]'", "bogus::x", "a['unterminated]", "a[1 and]", "a b"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q): expected error", bad)
+		}
+	}
+}
+
+func TestAxisCounting(t *testing.T) {
+	e := MustParse("//a/@id/ancestor::b/c")
+	axes := e.Axes()
+	if axes[AxisDescendantOrSelf] != 1 || axes[AxisAttribute] != 1 ||
+		axes[AxisAncestor] != 1 || axes[AxisChild] != 2 {
+		t.Errorf("axes = %v", axes)
+	}
+}
+
+func TestFragmentClassification(t *testing.T) {
+	cases := []struct {
+		in                                string
+		positive, core, downward, pattern bool
+	}{
+		{"/a/b[c]//d", true, true, true, true},
+		{"/a/b[c and d]", true, true, true, true},
+		{"/a/b[c or d]", true, true, true, false},
+		{"/a/b[not(c)]", false, true, true, false},
+		{"/a/ancestor::b", true, true, false, false},
+		{"/a[@x='1']", true, false, true, false},
+		{"/a[2]", true, false, true, false},
+		{"a | b", true, true, true, false},
+		{"/a/b/c", true, true, true, true},
+		{"a[b[c]]", true, true, true, true},
+	}
+	for _, c := range cases {
+		e := MustParse(c.in)
+		if got := e.IsPositive(); got != c.positive {
+			t.Errorf("IsPositive(%q) = %v, want %v", c.in, got, c.positive)
+		}
+		if got := e.IsCoreXPath(); got != c.core {
+			t.Errorf("IsCoreXPath(%q) = %v, want %v", c.in, got, c.core)
+		}
+		if got := e.IsDownward(); got != c.downward {
+			t.Errorf("IsDownward(%q) = %v, want %v", c.in, got, c.downward)
+		}
+		if got := e.IsTreePattern(); got != c.pattern {
+			t.Errorf("IsTreePattern(%q) = %v, want %v", c.in, got, c.pattern)
+		}
+	}
+}
+
+func TestSize(t *testing.T) {
+	// path(1) + 3 steps + 1 predicate path(1)+step = 6... exercised via
+	// relative ordering rather than absolute numbers.
+	small := MustParse("a").Size()
+	mid := MustParse("a/b/c").Size()
+	big := MustParse("a/b/c[d and e]/f").Size()
+	if !(small < mid && mid < big) {
+		t.Errorf("sizes not monotone: %d %d %d", small, mid, big)
+	}
+}
+
+func figure1() *tree.Node {
+	return tree.MustParse("persons(person(name, birthplace(city, state, country)), person(name, birthplace(city, state)))")
+}
+
+func TestEval(t *testing.T) {
+	root := figure1()
+	cases := []struct {
+		q    string
+		want int
+	}{
+		{"/persons", 1},
+		{"/persons/person", 2},
+		{"/persons/person/birthplace/country", 1},
+		{"//person", 2},
+		{"//birthplace[country]", 1},
+		{"//person[birthplace/country]/name", 1},
+		{"//person[not(birthplace/country)]", 1},
+		{"//birthplace[city and state]", 2},
+		{"//birthplace[city or missing]", 2},
+		{"//*", 12},
+		{"/persons//name | //country", 3},
+		{"/wrong", 0},
+		{"person", 0}, // relative to root context: root has no person child? root IS persons; child person → 2
+	}
+	// fix the relative-path expectation: context node is the root element,
+	// so "person" selects its two person children.
+	cases[len(cases)-1].want = 2
+	for _, c := range cases {
+		got, ok := Eval(MustParse(c.q), root)
+		if !ok {
+			t.Fatalf("Eval(%q) unsupported", c.q)
+		}
+		if len(got) != c.want {
+			t.Errorf("Eval(%q) = %d nodes, want %d", c.q, len(got), c.want)
+		}
+	}
+	// unsupported fragments are reported, not silently mis-evaluated
+	if _, ok := Eval(MustParse("a/ancestor::b"), root); ok {
+		t.Error("upward axis should be unsupported")
+	}
+	if _, ok := Eval(MustParse("a[@x='1']"), root); ok {
+		t.Error("comparisons should be unsupported")
+	}
+}
+
+func TestEvalDocumentOrder(t *testing.T) {
+	root := figure1()
+	nodes, ok := Eval(MustParse("//city | //name"), root)
+	if !ok || len(nodes) != 4 {
+		t.Fatalf("got %d nodes", len(nodes))
+	}
+	wantOrder := []string{"name", "city", "name", "city"}
+	for i, n := range nodes {
+		if n.Label != wantOrder[i] {
+			t.Errorf("node %d = %s, want %s", i, n.Label, wantOrder[i])
+		}
+	}
+}
+
+func TestRunStudy(t *testing.T) {
+	g := DefaultGen()
+	r := rand.New(rand.NewSource(1))
+	corpus := g.Corpus(r, 3000)
+	res := RunStudy(corpus)
+	if res.ParseErrors > 0 {
+		t.Errorf("generator produced %d unparsable queries", res.ParseErrors)
+	}
+	// Baelde et al.: majority of sizes ≤ 13.
+	if med := res.SizeQuantile(0.5); med > 13 {
+		t.Errorf("median size = %d, want ≤ 13", med)
+	}
+	// ... but a heavy tail exists.
+	if max := res.SizeQuantile(1.0); max < 40 {
+		t.Errorf("max size = %d, want a heavy tail", max)
+	}
+	// child must dominate axis usage; attribute second.
+	if res.AxisUse[AxisChild] <= res.AxisUse[AxisAttribute] {
+		t.Errorf("child (%d) should dominate attribute (%d)", res.AxisUse[AxisChild], res.AxisUse[AxisAttribute])
+	}
+	if res.AxisUse[AxisAttribute] <= res.AxisUse[AxisAncestor] {
+		t.Errorf("attribute (%d) should dominate ancestor (%d)", res.AxisUse[AxisAttribute], res.AxisUse[AxisAncestor])
+	}
+	// Pasqua: tree patterns are a large fraction of downward queries.
+	if res.TreePatterns*2 < res.Total {
+		t.Errorf("tree patterns = %d of %d, expected a majority", res.TreePatterns, res.Total)
+	}
+	if res.PowerLawAlpha() <= 1 {
+		t.Errorf("power-law alpha = %f", res.PowerLawAlpha())
+	}
+}
+
+func TestStudyHandlesErrors(t *testing.T) {
+	res := RunStudy([]string{"/a/b", "][bogus", "//x"})
+	if res.Total != 2 || res.ParseErrors != 1 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestRewriteAndExpressibility(t *testing.T) {
+	// double negation: syntactically not positive, expressible after rewrite
+	e := MustParse("/a[not(not(b))]")
+	if e.IsPositive() {
+		t.Fatal("not(not(b)) is syntactically non-positive")
+	}
+	if !ExpressiblePositive(e) {
+		t.Error("not(not(b)) should be expressible in positive XPath")
+	}
+	// genuine negation stays non-positive
+	if ExpressiblePositive(MustParse("/a[not(b)]")) {
+		t.Error("not(b) is not positive-expressible by these rewrites")
+	}
+	// De Morgan exposes inner double negations: not(not(a) or not(b)) = a and b
+	dm := MustParse("/x[not(not(a) or not(b))]")
+	if !ExpressiblePositive(dm) {
+		t.Errorf("De Morgan + double negation should positivize, got %s", Rewrite(dm))
+	}
+	// tautological predicate [.] is dropped, restoring core membership
+	taut := MustParse("/a[.]/b[count(c)=1]")
+	_ = taut
+	if !ExpressibleCore(MustParse("/a[.]/b")) {
+		t.Error("[.] should be dropped")
+	}
+	if ExpressibleCore(MustParse("/a[2]")) {
+		t.Error("positional predicates are beyond Core XPath")
+	}
+}
+
+func TestRewritePreservesEvaluation(t *testing.T) {
+	root := figure1()
+	queries := []string{
+		"/persons/person[not(not(birthplace))]",
+		"//birthplace[not(not(city) or not(state))]",
+		"//person[birthplace/country or not(not(name))]",
+		"//*[.]",
+	}
+	for _, qs := range queries {
+		e := MustParse(qs)
+		r := Rewrite(e)
+		got1, ok1 := Eval(e, root)
+		got2, ok2 := Eval(r, root)
+		if !ok1 || !ok2 {
+			continue // fragment not evaluable; rewriting equivalence not checkable here
+		}
+		if len(got1) != len(got2) {
+			t.Errorf("Rewrite changed semantics of %q: %d vs %d nodes", qs, len(got1), len(got2))
+		}
+	}
+}
+
+func TestExpressibilityCoverageGrows(t *testing.T) {
+	// On a corpus with double negations, expressible-positive coverage must
+	// exceed syntactic-positive coverage (the Section 5 observation).
+	queries := []string{
+		"/a[not(not(b))]", "/a/b", "/a[not(b)]", "/a[not(not(c) or not(d))]",
+	}
+	syntactic, expressible := 0, 0
+	for _, qs := range queries {
+		e := MustParse(qs)
+		if e.IsPositive() {
+			syntactic++
+		}
+		if ExpressiblePositive(e) {
+			expressible++
+		}
+	}
+	if expressible <= syntactic {
+		t.Errorf("expressible (%d) should exceed syntactic (%d)", expressible, syntactic)
+	}
+}
