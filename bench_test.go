@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"testing"
@@ -58,6 +59,39 @@ func runLogStudy(b *testing.B) []*core.SourceReport {
 		reports = core.RunLogStudy(1, benchScale)
 	}
 	return reports
+}
+
+// BenchmarkLogStudyIngest measures end-to-end corpus ingest throughput
+// (generation + parsing + dedup + full battery) for the sequential
+// reference pipeline and the sharded worker pool. The queries/s metric is
+// the acceptance number: the 4-worker pool must sustain ≥ 2× the
+// sequential throughput, while producing byte-identical reports (see
+// TestRunLogStudyParallelMatchesSequential).
+func BenchmarkLogStudyIngest(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 1 {
+			name = "sequential"
+		}
+		b.Run(name, func(b *testing.B) {
+			total := 0
+			for i := 0; i < b.N; i++ {
+				var reports []*core.SourceReport
+				if workers == 1 {
+					reports = core.RunLogStudy(1, benchScale)
+				} else {
+					reports = core.RunLogStudyParallel(core.Config{
+						Workers: workers, ScaleDiv: benchScale, Seed: 1,
+					})
+				}
+				total = 0
+				for _, r := range reports {
+					total += r.Total
+				}
+			}
+			b.ReportMetric(float64(total*b.N)/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
 }
 
 // BenchmarkTable2LogCounts regenerates Table 2: Total/Valid/Unique per log

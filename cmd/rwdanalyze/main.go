@@ -28,6 +28,7 @@ func main() {
 	kind := flag.String("kind", "sparql", "corpus kind: sparql|xml|dtd|jsonschema|xpath")
 	file := flag.String("file", "-", "input file; '-' reads stdin")
 	name := flag.String("name", "corpus", "corpus name for the reports")
+	workers := flag.Int("workers", 0, "analysis workers for -kind sparql; 0 = one per CPU, 1 = sequential")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -48,11 +49,11 @@ func main() {
 
 	switch *kind {
 	case "sparql":
-		a := core.NewAnalyzer(*name)
-		for _, q := range lines {
-			a.Ingest(q)
+		rep := core.AnalyzeQueries(*name, lines, *workers)
+		if err := core.RenderAll(os.Stdout, []*core.SourceReport{rep}); err != nil {
+			fmt.Fprintln(os.Stderr, "render:", err)
+			os.Exit(1)
 		}
-		core.RenderAll(os.Stdout, []*core.SourceReport{a.Report})
 	case "xml":
 		res := xmllite.RunStudy(lines)
 		fmt.Printf("documents: %d; well-formed: %d (%.1f%%); top-3 error share: %.1f%%\n",

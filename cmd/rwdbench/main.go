@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/core"
@@ -34,6 +35,7 @@ func main() {
 	scale := flag.Int("scale", 10000, "corpus scale divisor for log experiments")
 	seed := flag.Int64("seed", 1, "generator seed")
 	graphScale := flag.Float64("graphscale", 0.2, "graph size factor for Table 1")
+	workers := flag.Int("workers", 0, "analysis workers for the log pipeline; 0 = one per CPU, 1 = sequential")
 	flag.Parse()
 
 	needLogs := map[string]bool{
@@ -43,35 +45,55 @@ func main() {
 	}
 	var reports []*core.SourceReport
 	if needLogs[*experiment] {
-		fmt.Fprintf(os.Stderr, "generating and analyzing log corpus at scale 1:%d …\n", *scale)
-		reports = core.RunLogStudy(*seed, *scale)
+		cfg := core.Config{Workers: *workers, ScaleDiv: *scale, Seed: *seed}
+		if *workers == 1 {
+			fmt.Fprintf(os.Stderr, "generating and analyzing log corpus at scale 1:%d (sequential) …\n", *scale)
+			reports = core.RunLogStudySequential(cfg)
+		} else {
+			n := *workers
+			if n <= 0 {
+				n = runtime.GOMAXPROCS(0)
+			}
+			fmt.Fprintf(os.Stderr, "generating and analyzing log corpus at scale 1:%d (%d workers) …\n", *scale, n)
+			reports = core.RunLogStudyParallel(cfg)
+		}
 	}
 	dbp, wiki := core.GroupReports(reports)
 
 	w := os.Stdout
+	failed := false
+	check := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "render:", err)
+			failed = true
+		}
+	}
 	run := func(name string, f func()) {
 		if *experiment == "all" || *experiment == name {
 			fmt.Fprintf(w, "\n==== %s ====\n", strings.ToUpper(name))
 			f()
 		}
 	}
-	run("table1", func() { core.RenderTable1(w, *seed, *graphScale) })
-	run("table2", func() { core.RenderTable2(w, reports) })
-	run("figure3", func() { core.RenderFigure3(w, reports) })
-	run("table3", func() { core.RenderTable3(w, dbp); fmt.Fprintln(w); core.RenderTable3(w, wiki) })
-	run("table4", func() { core.RenderOperatorSets(w, dbp, core.Table4Rows) })
-	run("table5", func() { core.RenderOperatorSets(w, wiki, core.Table5Rows) })
-	run("table6", func() { core.RenderTable6(w, dbp) })
-	run("table7", func() { core.RenderTable7(w, dbp) })
-	run("table8", func() { core.RenderTable8(w, wiki) })
-	run("welldesigned", func() { core.RenderSection94(w, dbp); core.RenderSection94(w, wiki) })
-	run("tractability", func() { core.RenderSection96(w, wiki) })
+	run("table1", func() { check(core.RenderTable1(w, *seed, *graphScale)) })
+	run("table2", func() { check(core.RenderTable2(w, reports)) })
+	run("figure3", func() { check(core.RenderFigure3(w, reports)) })
+	run("table3", func() { check(core.RenderTable3(w, dbp)); fmt.Fprintln(w); check(core.RenderTable3(w, wiki)) })
+	run("table4", func() { check(core.RenderOperatorSets(w, dbp, core.Table4Rows)) })
+	run("table5", func() { check(core.RenderOperatorSets(w, wiki, core.Table5Rows)) })
+	run("table6", func() { check(core.RenderTable6(w, dbp)) })
+	run("table7", func() { check(core.RenderTable7(w, dbp)) })
+	run("table8", func() { check(core.RenderTable8(w, wiki)) })
+	run("welldesigned", func() { check(core.RenderSection94(w, dbp)); check(core.RenderSection94(w, wiki)) })
+	run("tractability", func() { check(core.RenderSection96(w, wiki)) })
 	run("xmlquality", func() { runXMLQuality(*seed) })
 	run("dtdcorpus", func() { runDTDCorpus(*seed) })
 	run("xsdtypes", func() { runXSDTypes(*seed) })
 	run("jsonschema", func() { runJSONSchema(*seed) })
 	run("xpath", func() { runXPath(*seed) })
 	run("rdfstats", func() { runRDFStats(*seed) })
+	if failed {
+		os.Exit(1)
+	}
 }
 
 func runXMLQuality(seed int64) {

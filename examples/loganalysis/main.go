@@ -52,17 +52,25 @@ WHERE { ?subj wdt:P31/wdt:P279* wd:Q839954 .
 		}
 	}
 	gen := loggen.NewGen(robot, 42)
-	a := core.NewAnalyzer("WikiRobot/OK (sampled)")
-	for i := 0; i < 20000; i++ {
-		a.Ingest(gen.Next())
+	queries := make([]string, 20000)
+	for i := range queries {
+		queries[i] = gen.Next()
 	}
-	r := a.Report
+	// shard the stream over 4 workers; the merged report is identical to a
+	// sequential ingest of the same stream
+	r := core.AnalyzeQueries("WikiRobot/OK (sampled)", queries, 4)
 	fmt.Printf("ingested %d queries: %d valid, %d unique\n\n", r.Total, r.Valid, r.Unique)
-	core.RenderTable3(os.Stdout, r)
+	check := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "render:", err)
+			os.Exit(1)
+		}
+	}
+	check(core.RenderTable3(os.Stdout, r))
 	fmt.Println()
-	core.RenderOperatorSets(os.Stdout, r, core.Table5Rows)
+	check(core.RenderOperatorSets(os.Stdout, r, core.Table5Rows))
 	fmt.Println()
-	core.RenderTable8(os.Stdout, r)
+	check(core.RenderTable8(os.Stdout, r))
 	fmt.Println()
-	core.RenderSection96(os.Stdout, r)
+	check(core.RenderSection96(os.Stdout, r))
 }

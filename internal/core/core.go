@@ -124,33 +124,118 @@ func NewSourceReport(name string) *SourceReport {
 	}
 }
 
-// Analyzer ingests raw query strings for one source.
+// Analyzer ingests raw query strings for one source. An Analyzer may hold
+// the full stream of a source or just one shard of it: the seen map keeps,
+// per canonical form first observed here, the raw string of its first
+// occurrence, which is exactly what MergeShards needs to resolve
+// cross-shard duplicates.
 type Analyzer struct {
 	Report *SourceReport
-	seen   map[string]bool
+	seen   map[string]string
+	// ppCache memoizes the property-path classifier stack keyed on the
+	// path's canonical form: duplicate-heavy robotic logs hit the same
+	// paths millions of times.
+	ppCache map[string]ppClass
 }
 
-// NewAnalyzer returns an analyzer for one source.
+// ppClass is the memoized result of the Table 8 / Section 9.6 classifiers
+// for one property path.
+type ppClass struct {
+	row              propertypath.Table8Row
+	simpleTransitive bool
+	ctract           bool
+	ttract           bool
+}
+
+// NewAnalyzer returns an analyzer for one source (or one shard of one).
 func NewAnalyzer(name string) *Analyzer {
-	return &Analyzer{Report: NewSourceReport(name), seen: map[string]bool{}}
+	return &Analyzer{
+		Report:  NewSourceReport(name),
+		seen:    map[string]string{},
+		ppCache: map[string]ppClass{},
+	}
 }
 
-// Ingest processes one raw query string through the full battery.
+// analyzeHook, when non-nil, runs before the analysis battery of every
+// valid query; tests use it to inject panics into the battery.
+var analyzeHook func(*sparql.Query)
+
+// Ingest processes one raw query string through the full battery. It is
+// panic-safe at the per-query boundary: a pathological input that panics
+// the parser or the analysis battery is counted as invalid instead of
+// killing the run (or, in the parallel pipeline, a whole worker).
 func (a *Analyzer) Ingest(raw string) {
 	r := a.Report
 	r.Total++
-	q, err := sparql.Parse(raw)
-	if err != nil {
+	q, canon, ok := parseSafe(raw)
+	if !ok {
 		return
 	}
 	r.Valid++
-	canon := q.Canonical()
-	unique := !a.seen[canon]
+	_, dup := a.seen[canon]
+	unique := !dup
 	if unique {
-		a.seen[canon] = true
+		a.seen[canon] = raw
 		r.Unique++
 	}
+	if !a.analyzeSafe(q, unique) {
+		// The battery panicked mid-query: count the query as invalid and
+		// roll back the dedup state, so a later occurrence of the same
+		// canonical form is handled identically in sequential and sharded
+		// runs.
+		r.Valid--
+		if unique {
+			delete(a.seen, canon)
+			r.Unique--
+		}
+	}
+}
+
+// parseSafe parses and canonicalizes one raw query, converting parser
+// panics into parse failures.
+func parseSafe(raw string) (q *sparql.Query, canon string, ok bool) {
+	defer func() {
+		if recover() != nil {
+			q, canon, ok = nil, "", false
+		}
+	}()
+	parsed, err := sparql.Parse(raw)
+	if err != nil {
+		return nil, "", false
+	}
+	return parsed, parsed.Canonical(), true
+}
+
+// analyzeSafe runs the battery, reporting whether it completed without
+// panicking.
+func (a *Analyzer) analyzeSafe(q *sparql.Query, unique bool) (ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	if analyzeHook != nil {
+		analyzeHook(q)
+	}
 	a.analyze(q, unique)
+	return true
+}
+
+// classifyPP runs the property-path classifier stack through the
+// per-analyzer memoization cache.
+func (a *Analyzer) classifyPP(pp *propertypath.Path) ppClass {
+	key := pp.String()
+	if c, hit := a.ppCache[key]; hit {
+		return c
+	}
+	c := ppClass{
+		row:              propertypath.Classify(pp),
+		simpleTransitive: propertypath.IsSimpleTransitive(pp),
+		ctract:           propertypath.InCtract(pp),
+		ttract:           propertypath.InTtractApprox(pp),
+	}
+	a.ppCache[key] = c
+	return c
 }
 
 // analyze runs the per-query tests, bumping the V counter always and the
@@ -218,20 +303,20 @@ func (a *Analyzer) analyze(q *sparql.Query, unique bool) {
 	}
 	for _, pp := range pps {
 		r.PPTotal.add(unique)
-		row := propertypath.Classify(pp)
-		c := r.PPRows[row]
+		cls := a.classifyPP(pp)
+		c := r.PPRows[cls.row]
 		if c == nil {
 			c = &Counter2{}
-			r.PPRows[row] = c
+			r.PPRows[cls.row] = c
 		}
 		c.add(unique)
-		if !propertypath.IsSimpleTransitive(pp) {
+		if !cls.simpleTransitive {
 			r.NonSTE.add(unique)
 		}
-		if !propertypath.InCtract(pp) {
+		if !cls.ctract {
 			r.NonCtract.add(unique)
 		}
-		if !propertypath.InTtractApprox(pp) {
+		if !cls.ttract {
 			r.NonTtract.add(unique)
 		}
 	}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sparql"
+)
+
+// TestIngestAdversarialInputs feeds the ingest path the pathological
+// strings real logs contain — deeply nested groups, truncated property
+// paths, NUL bytes, unbalanced quoting — and requires that the analyzer
+// survives every one with coherent counters.
+func TestIngestAdversarialInputs(t *testing.T) {
+	deepGroups := "SELECT * WHERE " + strings.Repeat("{ ", 2000) + "?s ?p ?o" + strings.Repeat(" }", 2000)
+	deepFilter := "SELECT * WHERE { ?s ?p ?o FILTER(" + strings.Repeat("!(", 1500) + "?s" + strings.Repeat(")", 1500) + ") }"
+	inputs := []string{
+		deepGroups,
+		deepFilter,
+		"SELECT ?s WHERE { ?s wdt:P31/ }",              // truncated property path
+		"SELECT ?s WHERE { ?s wdt:P31/wdt:P279*",       // truncated group
+		"SELECT ?s WHERE { ?s (wdt:P31|(wdt:P279 ?o }", // unbalanced path parens
+		"SELECT ?s WHERE { ?s \x00 ?o }",               // NUL byte as predicate
+		"\x00\x00\x00SELECT",                           // NUL prefix
+		"SELECT ?s WHERE { ?s ?p \"unterminated }",     // unbalanced literal
+		strings.Repeat("(", 5000),                      // paren bomb
+		"SELECT " + strings.Repeat("?v ", 3000) + "WHERE { ?v0 ?p ?o }",
+		"",
+	}
+	a := NewAnalyzer("adversarial")
+	for _, in := range inputs {
+		a.Ingest(in) // must not panic the run
+	}
+	r := a.Report
+	if r.Total != len(inputs) {
+		t.Errorf("Total = %d, want %d", r.Total, len(inputs))
+	}
+	if r.Valid > r.Total || r.Unique > r.Valid {
+		t.Errorf("inconsistent counts: T=%d V=%d U=%d", r.Total, r.Valid, r.Unique)
+	}
+}
+
+// TestIngestRecoversAnalysisPanic injects a panic into the analysis
+// battery and checks the per-query recovery contract: the query counts as
+// invalid and the dedup state rolls back, so a later occurrence behaves as
+// if the panicking one never happened.
+func TestIngestRecoversAnalysisPanic(t *testing.T) {
+	defer func() { analyzeHook = nil }()
+	const q = "SELECT ?s WHERE { ?s ?p ?o }"
+
+	analyzeHook = func(*sparql.Query) { panic("injected battery failure") }
+	a := NewAnalyzer("panicky")
+	a.Ingest(q)
+	r := a.Report
+	if r.Total != 1 || r.Valid != 0 || r.Unique != 0 {
+		t.Fatalf("after panic: T=%d V=%d U=%d, want 1/0/0", r.Total, r.Valid, r.Unique)
+	}
+	if len(a.seen) != 0 {
+		t.Fatalf("dedup state not rolled back: %v", a.seen)
+	}
+
+	// with the battery healthy again, the same canonical counts normally
+	analyzeHook = nil
+	a.Ingest(q)
+	if r.Total != 2 || r.Valid != 1 || r.Unique != 1 {
+		t.Errorf("after recovery: T=%d V=%d U=%d, want 2/1/1", r.Total, r.Valid, r.Unique)
+	}
+}
+
+// TestIngestRecoversSelectivePanic panics only for one query shape,
+// checking that surrounding queries in the same stream are unaffected —
+// the "one pathological query must not kill a worker" property.
+func TestIngestRecoversSelectivePanic(t *testing.T) {
+	defer func() { analyzeHook = nil }()
+	analyzeHook = func(q *sparql.Query) {
+		if q.TripleCount() == 3 {
+			panic("three triples trips the battery")
+		}
+	}
+	a := NewAnalyzer("selective")
+	a.Ingest("SELECT * WHERE { ?x :p ?y }")
+	a.Ingest("SELECT * WHERE { ?x :p ?y . ?y :q ?z . ?z :r ?w }") // panics
+	a.Ingest("SELECT * WHERE { ?x :p ?y . ?y :q ?z }")
+	r := a.Report
+	if r.Total != 3 || r.Valid != 2 || r.Unique != 2 {
+		t.Errorf("T=%d V=%d U=%d, want 3/2/2", r.Total, r.Valid, r.Unique)
+	}
+	if r.TripleBuckets[1].V != 1 || r.TripleBuckets[2].V != 1 {
+		t.Errorf("buckets polluted: %+v %+v", r.TripleBuckets[1], r.TripleBuckets[2])
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// forEachCounter pairs every Counter2 of dst with the corresponding
+// counter of src and applies f, materializing dst map entries for keys
+// that only src has. It is the single field walk behind the group-level
+// Merge and the shard-level dedup correction, so a report field added in
+// one place is added everywhere.
+func forEachCounter(dst *SourceReport, src *SourceReport, f func(dst *Counter2, src Counter2)) {
+	for i := range src.TripleBuckets {
+		f(&dst.TripleBuckets[i], src.TripleBuckets[i])
+	}
+	pairMap(dst.Features, src.Features, f)
+	pairMap(dst.OperatorSets, src.OperatorSets, f)
+	f(&dst.AFO, src.AFO)
+	f(&dst.WellDesigned, src.WellDesigned)
+	f(&dst.WellBehaved, src.WellBehaved)
+	ht := func(d, s *HypertreeStats) {
+		f(&d.FCA, s.FCA)
+		f(&d.Htw1, s.Htw1)
+		f(&d.Htw2, s.Htw2)
+		f(&d.Htw3, s.Htw3)
+		f(&d.Total, s.Total)
+	}
+	ht(&dst.CQ, &src.CQ)
+	ht(&dst.CQF, &src.CQF)
+	f(&dst.SafeFilterOnly, src.SafeFilterOnly)
+	f(&dst.SimpleFilterOnly, src.SimpleFilterOnly)
+	f(&dst.GraphCQF, src.GraphCQF)
+	for i := range src.ShapeWith {
+		f(&dst.ShapeWith[i], src.ShapeWith[i])
+		f(&dst.ShapeWithout[i], src.ShapeWithout[i])
+	}
+	pairMap(dst.PPRows, src.PPRows, f)
+	f(&dst.PPTotal, src.PPTotal)
+	f(&dst.PPQueries, src.PPQueries)
+	f(&dst.NonSTE, src.NonSTE)
+	f(&dst.NonCtract, src.NonCtract)
+	f(&dst.NonTtract, src.NonTtract)
+}
+
+// pairMap applies f to the dst/src counters of every key present in src,
+// materializing missing dst entries.
+func pairMap[K comparable](dm, sm map[K]*Counter2, f func(dst *Counter2, src Counter2)) {
+	for k, c := range sm {
+		d := dm[k]
+		if d == nil {
+			d = &Counter2{}
+			dm[k] = d
+		}
+		f(d, *c)
+	}
+}
+
+// Merge combines several source reports into a group report (the paper
+// aggregates DBpedia–BritM vs Wikidata in Tables 3–8). Both the V and U
+// sides are additive: group members are distinct sources, so their unique
+// sets are counted per source, exactly as the paper sums Table 2 rows.
+// For shards of a single source use MergeShards, which deduplicates the
+// U side across shards.
+func Merge(name string, reports []*SourceReport) *SourceReport {
+	out := NewSourceReport(name)
+	for _, r := range reports {
+		out.Total += r.Total
+		out.Valid += r.Valid
+		out.Unique += r.Unique
+		out.CountedV += r.CountedV
+		out.CountedU += r.CountedU
+		if r.MaxTriples > out.MaxTriples {
+			out.MaxTriples = r.MaxTriples
+		}
+		forEachCounter(out, r, func(d *Counter2, s Counter2) {
+			d.V += s.V
+			d.U += s.U
+		})
+	}
+	return out
+}
+
+// MergeShards combines analyzers that each ingested one shard of the SAME
+// source stream into the report a single sequential analyzer would have
+// produced over the whole stream.
+//
+// V-side counts (and Total/Valid) are additive, since every occurrence of
+// every query lives in exactly one shard. The U side needs cross-shard
+// dedup: a canonical form first seen in k > 1 shards contributed a unique
+// bump k times but must count once. Because the battery is a deterministic
+// function of the canonical form, that contribution can be recomputed from
+// any of the first-occurrence raw strings the shards kept, and subtracted
+// k−1 times — making the merged report byte-identical to the sequential
+// one at any shard count.
+func MergeShards(name string, shards []*Analyzer) *SourceReport {
+	reports := make([]*SourceReport, len(shards))
+	for i, a := range shards {
+		reports[i] = a.Report
+	}
+	out := Merge(name, reports)
+	if len(shards) > 0 {
+		out.Wikidata = shards[0].Report.Wikidata
+		out.Robotic = shards[0].Report.Robotic
+	}
+	count := map[string]int{}
+	raw := map[string]string{}
+	for _, a := range shards {
+		for canon, first := range a.seen {
+			count[canon]++
+			raw[canon] = first
+		}
+	}
+	for canon, k := range count {
+		if k <= 1 {
+			continue
+		}
+		contrib := uniqueContribution(name, raw[canon])
+		if contrib == nil {
+			continue
+		}
+		n := k - 1
+		out.Unique -= n * contrib.Unique
+		out.CountedU -= n * contrib.CountedU
+		forEachCounter(out, contrib, func(d *Counter2, s Counter2) {
+			d.U -= n * s.U
+		})
+	}
+	return out
+}
+
+// uniqueContribution analyzes one raw query in isolation: the resulting
+// report's U side is exactly what the query's first occurrence adds to a
+// shard.
+func uniqueContribution(name, raw string) *SourceReport {
+	a := NewAnalyzer(name)
+	a.Ingest(raw)
+	if a.Report.Unique != 1 {
+		// the raw string parsed in its shard, so this cannot happen; be
+		// defensive rather than corrupt the merge
+		return nil
+	}
+	return a.Report
+}
+
+// ShardSplit deals a query stream round-robin into n shards (some may be
+// empty when n exceeds the stream length). Round-robin keeps every shard's
+// subsequence in stream order, so per-shard dedup sees first occurrences
+// first.
+func ShardSplit(queries []string, n int) [][]string {
+	if n < 1 {
+		n = 1
+	}
+	out := make([][]string, n)
+	for i, q := range queries {
+		out[i%n] = append(out[i%n], q)
+	}
+	return out
+}
+
+// AnalyzeQueries pushes a corpus of raw query strings through the full
+// battery, sharded over the given number of workers (<= 0 means one per
+// CPU; 1 runs sequentially). The result is identical at any worker count.
+func AnalyzeQueries(name string, queries []string, workers int) *SourceReport {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		a := NewAnalyzer(name)
+		for _, q := range queries {
+			a.Ingest(q)
+		}
+		return a.Report
+	}
+	parts := ShardSplit(queries, workers)
+	shards := make([]*Analyzer, len(parts))
+	var wg sync.WaitGroup
+	for k, part := range parts {
+		wg.Add(1)
+		go func(k int, part []string) {
+			defer wg.Done()
+			a := NewAnalyzer(name)
+			for _, q := range part {
+				a.Ingest(q)
+			}
+			shards[k] = a
+		}(k, part)
+	}
+	wg.Wait()
+	return MergeShards(name, shards)
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestMergeShardsEqualsSequential is the shard/merge property test: for
+// k ∈ {1, 2, 7, 16}, analyzing a round-robin k-split of a source's stream
+// in independent analyzers and merging with MergeShards must reproduce the
+// sequential SourceReport exactly — including the U side, which crosses
+// shard boundaries through duplicated canonical forms.
+func TestMergeShardsEqualsSequential(t *testing.T) {
+	cfg := Config{Seed: 11, ScaleDiv: 200000}
+	// index 0 is DBpedia9-12 (operator-set heavy), 13 is WikiRobot/OK
+	// (duplicate-heavy, property-path heavy), 16 is WikiOrganic/TO (tiny,
+	// forces empty shards at k = 16).
+	for _, idx := range []int{0, 13, 16} {
+		stream := cfg.SourceStream(idx)
+		seq := AnalyzeQueries("shardtest", stream, 1)
+		for _, k := range []int{1, 2, 7, 16} {
+			parts := ShardSplit(stream, k)
+			shards := make([]*Analyzer, len(parts))
+			for i, part := range parts {
+				a := NewAnalyzer("shardtest")
+				for _, q := range part {
+					a.Ingest(q)
+				}
+				shards[i] = a
+			}
+			got := MergeShards("shardtest", shards)
+			if !reflect.DeepEqual(got, seq) {
+				t.Errorf("source %d, k=%d: merged report differs from sequential\nmerged: T=%d V=%d U=%d\nseq:    T=%d V=%d U=%d",
+					idx, k, got.Total, got.Valid, got.Unique, seq.Total, seq.Valid, seq.Unique)
+			}
+		}
+	}
+}
+
+// TestMergeShardsDeduplicatesAcrossShards pins the dedup-at-merge rule on
+// a hand-built corpus where the same canonical form is first-seen in every
+// shard.
+func TestMergeShardsDeduplicatesAcrossShards(t *testing.T) {
+	const dup = "SELECT ?s WHERE { ?s ?p ?o }"
+	corpus := []string{
+		dup,
+		"SELECT ?x WHERE { ?x :a ?y . ?y :b ?z }",
+		dup,
+		"SELECT  ?s  WHERE  {  ?s ?p ?o . }", // whitespace variant of dup
+		"broken { query",
+		dup,
+	}
+	seq := AnalyzeQueries("dedup", corpus, 1)
+	for _, k := range []int{2, 3} {
+		got := AnalyzeQueries("dedup", corpus, k)
+		if !reflect.DeepEqual(got, seq) {
+			t.Errorf("k=%d: %+v != sequential %+v", k, got, seq)
+		}
+	}
+	if seq.Total != 6 || seq.Valid != 5 || seq.Unique != 2 {
+		t.Fatalf("sequential baseline off: T=%d V=%d U=%d", seq.Total, seq.Valid, seq.Unique)
+	}
+}
+
+// TestGroupMergeStaysAdditive guards the group-level Merge semantics: for
+// distinct sources the U side is additive, not deduplicated.
+func TestGroupMergeStaysAdditive(t *testing.T) {
+	a := NewAnalyzer("s1")
+	b := NewAnalyzer("s2")
+	q := "SELECT ?s WHERE { ?s ?p ?o }"
+	a.Ingest(q)
+	b.Ingest(q)
+	m := Merge("group", []*SourceReport{a.Report, b.Report})
+	if m.Total != 2 || m.Valid != 2 || m.Unique != 2 {
+		t.Errorf("group merge: T=%d V=%d U=%d, want 2/2/2", m.Total, m.Valid, m.Unique)
+	}
+}
+
+// TestShardSplitRoundRobin pins the dealing order shards rely on.
+func TestShardSplitRoundRobin(t *testing.T) {
+	parts := ShardSplit([]string{"a", "b", "c", "d", "e"}, 2)
+	if len(parts) != 2 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	if !reflect.DeepEqual(parts[0], []string{"a", "c", "e"}) || !reflect.DeepEqual(parts[1], []string{"b", "d"}) {
+		t.Errorf("round-robin split wrong: %v", parts)
+	}
+	// more shards than queries: the tail shards stay empty
+	parts = ShardSplit([]string{"a"}, 4)
+	if len(parts) != 4 || len(parts[0]) != 1 || len(parts[3]) != 0 {
+		t.Errorf("oversplit wrong: %v", parts)
+	}
+}

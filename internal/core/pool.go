@@ -1,0 +1,61 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/loggen"
+)
+
+// RunLogStudyParallel runs the log study on a bounded worker pool: sources
+// fan out concurrently, and within each source the query stream is dealt
+// round-robin into cfg.Workers shards that are analyzed by independent
+// workers and recombined with MergeShards. Generation itself stays
+// sequential per source (the replay bag makes the stream stateful), so the
+// corpus — and, after merging, every report — is byte-identical to
+// RunLogStudySequential at the same Config, for any worker count.
+func RunLogStudyParallel(cfg Config) []*SourceReport {
+	cfg = cfg.normalized()
+	sources := loggen.Sources()
+	reports := make([]*SourceReport, len(sources))
+	// slots caps the total number of busy goroutines — generators and
+	// shard analyzers together — at cfg.Workers.
+	slots := make(chan struct{}, cfg.Workers)
+	var wg sync.WaitGroup
+	for i, s := range sources {
+		wg.Add(1)
+		go func(i int, s loggen.Source) {
+			defer wg.Done()
+			slots <- struct{}{}
+			stream := cfg.SourceStream(i)
+			<-slots
+			reports[i] = analyzeSourceShards(s, stream, cfg.Workers, slots)
+		}(i, s)
+	}
+	wg.Wait()
+	return reports
+}
+
+// analyzeSourceShards analyzes one source's stream across shard workers,
+// each throttled by the shared slot pool, and merges the shards.
+func analyzeSourceShards(s loggen.Source, stream []string, shards int, slots chan struct{}) *SourceReport {
+	parts := ShardSplit(stream, shards)
+	analyzers := make([]*Analyzer, len(parts))
+	var wg sync.WaitGroup
+	for k, part := range parts {
+		wg.Add(1)
+		go func(k int, part []string) {
+			defer wg.Done()
+			slots <- struct{}{}
+			defer func() { <-slots }()
+			a := NewAnalyzer(s.Name)
+			a.Report.Wikidata = s.Wikidata
+			a.Report.Robotic = s.Robotic
+			for _, q := range part {
+				a.Ingest(q)
+			}
+			analyzers[k] = a
+		}(k, part)
+	}
+	wg.Wait()
+	return MergeShards(s.Name, analyzers)
+}

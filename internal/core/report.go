@@ -13,79 +13,6 @@ import (
 	"repro/internal/sparql"
 )
 
-// Merge combines several source reports into a group report (the paper
-// aggregates DBpedia–BritM vs Wikidata in Tables 3–8).
-func Merge(name string, reports []*SourceReport) *SourceReport {
-	out := NewSourceReport(name)
-	for _, r := range reports {
-		out.Total += r.Total
-		out.Valid += r.Valid
-		out.Unique += r.Unique
-		out.CountedV += r.CountedV
-		out.CountedU += r.CountedU
-		if r.MaxTriples > out.MaxTriples {
-			out.MaxTriples = r.MaxTriples
-		}
-		for i := range r.TripleBuckets {
-			out.TripleBuckets[i].V += r.TripleBuckets[i].V
-			out.TripleBuckets[i].U += r.TripleBuckets[i].U
-		}
-		for f, c := range r.Features {
-			oc := out.Features[f]
-			if oc == nil {
-				oc = &Counter2{}
-				out.Features[f] = oc
-			}
-			oc.V += c.V
-			oc.U += c.U
-		}
-		for k, c := range r.OperatorSets {
-			oc := out.OperatorSets[k]
-			if oc == nil {
-				oc = &Counter2{}
-				out.OperatorSets[k] = oc
-			}
-			oc.V += c.V
-			oc.U += c.U
-		}
-		addC := func(dst *Counter2, src Counter2) { dst.V += src.V; dst.U += src.U }
-		addC(&out.AFO, r.AFO)
-		addC(&out.WellDesigned, r.WellDesigned)
-		addC(&out.WellBehaved, r.WellBehaved)
-		addHT := func(dst, src *HypertreeStats) {
-			addC(&dst.FCA, src.FCA)
-			addC(&dst.Htw1, src.Htw1)
-			addC(&dst.Htw2, src.Htw2)
-			addC(&dst.Htw3, src.Htw3)
-			addC(&dst.Total, src.Total)
-		}
-		addHT(&out.CQ, &r.CQ)
-		addHT(&out.CQF, &r.CQF)
-		addC(&out.SafeFilterOnly, r.SafeFilterOnly)
-		addC(&out.SimpleFilterOnly, r.SimpleFilterOnly)
-		addC(&out.GraphCQF, r.GraphCQF)
-		for i := range r.ShapeWith {
-			addC(&out.ShapeWith[i], r.ShapeWith[i])
-			addC(&out.ShapeWithout[i], r.ShapeWithout[i])
-		}
-		for row, c := range r.PPRows {
-			oc := out.PPRows[row]
-			if oc == nil {
-				oc = &Counter2{}
-				out.PPRows[row] = oc
-			}
-			oc.V += c.V
-			oc.U += c.U
-		}
-		addC(&out.PPTotal, r.PPTotal)
-		addC(&out.PPQueries, r.PPQueries)
-		addC(&out.NonSTE, r.NonSTE)
-		addC(&out.NonCtract, r.NonCtract)
-		addC(&out.NonTtract, r.NonTtract)
-	}
-	return out
-}
-
 func pct(n, total int) string {
 	if total == 0 {
 		return "-"
@@ -93,8 +20,9 @@ func pct(n, total int) string {
 	return fmt.Sprintf("%.2f%%", 100*float64(n)/float64(total))
 }
 
-// RenderTable2 prints Total/Valid/Unique per source (Table 2).
-func RenderTable2(w io.Writer, reports []*SourceReport) {
+// RenderTable2 prints Total/Valid/Unique per source (Table 2). It
+// returns the first write error.
+func RenderTable2(w io.Writer, reports []*SourceReport) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "Source\tTotal #Q\tValid #Q\tUnique #Q")
 	var t, v, u int
@@ -105,13 +33,13 @@ func RenderTable2(w io.Writer, reports []*SourceReport) {
 		u += r.Unique
 	}
 	fmt.Fprintf(tw, "Total\t%d\t%d\t%d\n", t, v, u)
-	tw.Flush()
+	return tw.Flush()
 }
 
 // RenderFigure3 prints the triple-count distribution per source
 // (Figure 3): for each source the percentage of queries with 0..11+
 // triples, Valid (Unique).
-func RenderFigure3(w io.Writer, reports []*SourceReport) {
+func RenderFigure3(w io.Writer, reports []*SourceReport) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprint(tw, "Source")
 	for i := 0; i <= 10; i++ {
@@ -127,12 +55,12 @@ func RenderFigure3(w io.Writer, reports []*SourceReport) {
 		}
 		fmt.Fprintln(tw)
 	}
-	tw.Flush()
+	return tw.Flush()
 }
 
 // RenderTable3 prints the per-feature usage for a group (one half of
 // Table 3).
-func RenderTable3(w io.Writer, r *SourceReport) {
+func RenderTable3(w io.Writer, r *SourceReport) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "%s\tAbsoluteV\tRelativeV\tAbsoluteU\tRelativeU\n", r.Name)
 	for _, f := range sparql.Table3Features {
@@ -142,7 +70,7 @@ func RenderTable3(w io.Writer, r *SourceReport) {
 		}
 		fmt.Fprintf(tw, "%s\t%d\t%s\t%d\t%s\n", f, c.V, pct(c.V, r.Valid), c.U, pct(c.U, r.Unique))
 	}
-	tw.Flush()
+	return tw.Flush()
 }
 
 // Table4Rows / Table5Rows are the operator-set rows in the papers' order.
@@ -154,7 +82,7 @@ var Table5Rows = []string{
 
 // RenderOperatorSets prints Table 4 (rows = Table4Rows) or Table 5
 // (rows = Table5Rows) for a group.
-func RenderOperatorSets(w io.Writer, r *SourceReport, rows []string) {
+func RenderOperatorSets(w io.Writer, r *SourceReport, rows []string) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "Operator Set (%s)\tAbsoluteV\tRelativeV\tAbsoluteU\tRelativeU\n", r.Name)
 	var subV, subU int
@@ -172,12 +100,12 @@ func RenderOperatorSets(w io.Writer, r *SourceReport, rows []string) {
 		label = "C2RPQ+F subtotal"
 	}
 	fmt.Fprintf(tw, "%s\t%d\t%s\t%d\t%s\n", label, subV, pct(subV, r.Valid), subU, pct(subU, r.Unique))
-	tw.Flush()
+	return tw.Flush()
 }
 
 // RenderTable6 prints hypertree-width and free-connex acyclicity for the
 // CQ (top) and CQ+F (bottom) fragments of a group.
-func RenderTable6(w io.Writer, r *SourceReport) {
+func RenderTable6(w io.Writer, r *SourceReport) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	part := func(title string, st *HypertreeStats) {
 		fmt.Fprintf(tw, "%s: %s\tAbsoluteV\tRelativeV\tAbsoluteU\tRelativeU\n", r.Name, title)
@@ -192,12 +120,12 @@ func RenderTable6(w io.Writer, r *SourceReport) {
 	}
 	part("CQ", &r.CQ)
 	part("CQ+F", &r.CQF)
-	tw.Flush()
+	return tw.Flush()
 }
 
 // RenderTable7 prints the cumulative shape analysis for graph-CQ+F
 // queries, with constants (top) and without (bottom).
-func RenderTable7(w io.Writer, r *SourceReport) {
+func RenderTable7(w io.Writer, r *SourceReport) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	part := func(title string, levels *[numShapeLevels]Counter2) {
 		fmt.Fprintf(tw, "graph-CQ+F/ %s (%s)\tAbsoluteV\tRelativeV\tAbsoluteU\tRelativeU\n", title, r.Name)
@@ -211,11 +139,11 @@ func RenderTable7(w io.Writer, r *SourceReport) {
 	}
 	part("with constants", &r.ShapeWith)
 	part("without constants", &r.ShapeWithout)
-	tw.Flush()
+	return tw.Flush()
 }
 
 // RenderTable8 prints the property-path type distribution of a group.
-func RenderTable8(w io.Writer, r *SourceReport) {
+func RenderTable8(w io.Writer, r *SourceReport) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "Expression Type (%s)\tAbsoluteV\tRelativeV\tAbsoluteU\tRelativeU\n", r.Name)
 	for _, row := range propertypath.Table8Rows {
@@ -226,35 +154,37 @@ func RenderTable8(w io.Writer, r *SourceReport) {
 		fmt.Fprintf(tw, "%s\t%d\t%s\t%d\t%s\n", row, c.V, pct(c.V, r.PPTotal.V), c.U, pct(c.U, r.PPTotal.U))
 	}
 	fmt.Fprintf(tw, "Total\t%d\t100%%\t%d\t100%%\n", r.PPTotal.V, r.PPTotal.U)
-	tw.Flush()
+	return tw.Flush()
 }
 
 // RenderSection94 prints the well-designedness statistics.
-func RenderSection94(w io.Writer, r *SourceReport) {
-	fmt.Fprintf(w, "%s: AFO queries %d (%d); well-designed %s (%s) of AFO; well-behaved %s (%s) of all\n",
+func RenderSection94(w io.Writer, r *SourceReport) error {
+	_, err := fmt.Fprintf(w, "%s: AFO queries %d (%d); well-designed %s (%s) of AFO; well-behaved %s (%s) of all\n",
 		r.Name, r.AFO.V, r.AFO.U,
 		pct(r.WellDesigned.V, r.AFO.V), pct(r.WellDesigned.U, r.AFO.U),
 		pct(r.WellBehaved.V, r.Valid), pct(r.WellBehaved.U, r.Unique))
+	return err
 }
 
 // RenderSection96 prints the simple-transitive-expression and
 // tractability outlier counts.
-func RenderSection96(w io.Writer, r *SourceReport) {
-	fmt.Fprintf(w, "%s: property paths %d (%d); outside STE %d (%d); outside C_tract %d (%d); outside T_tract %d (%d)\n",
+func RenderSection96(w io.Writer, r *SourceReport) error {
+	_, err := fmt.Fprintf(w, "%s: property paths %d (%d); outside STE %d (%d); outside C_tract %d (%d); outside T_tract %d (%d)\n",
 		r.Name, r.PPTotal.V, r.PPTotal.U,
 		r.NonSTE.V, r.NonSTE.U, r.NonCtract.V, r.NonCtract.U, r.NonTtract.V, r.NonTtract.U)
+	return err
 }
 
 // RenderTable1 generates the synthetic Table 1 datasets and prints the
 // treewidth bounds.
-func RenderTable1(w io.Writer, seed int64, scale float64) {
+func RenderTable1(w io.Writer, seed int64, scale float64) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "Dataset\t#nodes\t#edges\tlower tw\tupper tw")
 	for _, ds := range graphgen.Table1Datasets(seed, scale) {
 		lb, ub := graph.Bounds(ds.Graph)
 		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\n", ds.Name, ds.Graph.N(), ds.Graph.M(), lb, ub)
 	}
-	tw.Flush()
+	return tw.Flush()
 }
 
 // SortedOperatorSets returns the observed operator sets sorted by name

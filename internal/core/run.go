@@ -2,20 +2,91 @@ package core
 
 import (
 	"io"
+	"runtime"
 
 	"repro/internal/loggen"
 )
 
+// defaultSeedStride is the historical per-source seed stride of
+// RunLogStudy; Config keeps it as the default so existing seeds reproduce
+// the same corpora.
+const defaultSeedStride = 7919
+
+// Config parameterizes a log study run. The zero value is usable: it
+// analyzes the default 1:10000 corpus with seed 0, the historical seed
+// stride, and one worker per CPU.
+type Config struct {
+	// Workers is the size of the analysis worker pool for
+	// RunLogStudyParallel and the shard count per source; <= 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// ScaleDiv is the corpus scale divisor (1000 generates 1:1000 of the
+	// paper's 558M queries); <= 0 means 10000.
+	ScaleDiv int
+	// Seed is the base generator seed.
+	Seed int64
+	// SeedStride derives the per-source seeds (SourceSeed); <= 0 means
+	// the historical stride 7919.
+	SeedStride int64
+}
+
+// normalized fills in the documented defaults.
+func (c Config) normalized() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.ScaleDiv <= 0 {
+		c.ScaleDiv = 10000
+	}
+	if c.SeedStride <= 0 {
+		c.SeedStride = defaultSeedStride
+	}
+	return c
+}
+
+// SourceSeed returns the deterministic generator seed for the i-th source
+// of loggen.Sources(). It depends only on Seed, SeedStride and i — never
+// on the worker count — so any source's stream can be regenerated in
+// isolation at any parallelism.
+func (c Config) SourceSeed(i int) int64 {
+	return c.Seed + int64(i)*c.normalized().SeedStride
+}
+
+// SourceStream regenerates the exact raw-query stream of the i-th source
+// of loggen.Sources(): the same strings, in the same order, that the
+// sequential and parallel studies ingest. Together with ShardSplit this
+// reproduces any single shard of any run.
+func (c Config) SourceStream(i int) []string {
+	cfg := c.normalized()
+	s := loggen.Sources()[i]
+	g := loggen.NewGen(s, cfg.SourceSeed(i))
+	out := make([]string, g.Count(cfg.ScaleDiv))
+	for j := range out {
+		out[j] = g.Next()
+	}
+	return out
+}
+
 // RunLogStudy generates the synthetic corpus for every Table 2 source at
-// the given scale divisor and pushes it through the analyzer.
+// the given scale divisor and pushes it through the analyzer on a single
+// goroutine. It is equivalent to RunLogStudySequential with the historical
+// seed stride; RunLogStudyParallel produces byte-identical reports on a
+// worker pool.
 func RunLogStudy(seed int64, scaleDiv int) []*SourceReport {
+	return RunLogStudySequential(Config{Seed: seed, ScaleDiv: scaleDiv})
+}
+
+// RunLogStudySequential is the single-goroutine reference pipeline: every
+// query of every source is generated and ingested in stream order.
+func RunLogStudySequential(cfg Config) []*SourceReport {
+	cfg = cfg.normalized()
 	var reports []*SourceReport
 	for i, s := range loggen.Sources() {
-		g := loggen.NewGen(s, seed+int64(i)*7919)
+		g := loggen.NewGen(s, cfg.SourceSeed(i))
 		a := NewAnalyzer(s.Name)
 		a.Report.Wikidata = s.Wikidata
 		a.Report.Robotic = s.Robotic
-		n := g.Count(scaleDiv)
+		n := g.Count(cfg.ScaleDiv)
 		for j := 0; j < n; j++ {
 			a.Ingest(g.Next())
 		}
@@ -24,33 +95,42 @@ func RunLogStudy(seed int64, scaleDiv int) []*SourceReport {
 	return reports
 }
 
-// RenderAll writes every log-derived table and figure of the paper to w.
-func RenderAll(w io.Writer, reports []*SourceReport) {
+// RenderAll writes every log-derived table and figure of the paper to w,
+// returning the first write error.
+func RenderAll(w io.Writer, reports []*SourceReport) error {
 	dbp, wiki := GroupReports(reports)
+	var firstErr error
+	check := func(err error) {
+		if firstErr == nil && err != nil {
+			firstErr = err
+		}
+	}
 	section := func(title string) {
-		io.WriteString(w, "\n== "+title+" ==\n")
+		_, err := io.WriteString(w, "\n== "+title+" ==\n")
+		check(err)
 	}
 	section("Table 2: queries in the logs")
-	RenderTable2(w, reports)
+	check(RenderTable2(w, reports))
 	section("Figure 3: triple patterns per query")
-	RenderFigure3(w, reports)
+	check(RenderFigure3(w, reports))
 	section("Table 3: feature usage (DBpedia-BritM)")
-	RenderTable3(w, dbp)
+	check(RenderTable3(w, dbp))
 	section("Table 3: feature usage (Wikidata)")
-	RenderTable3(w, wiki)
+	check(RenderTable3(w, wiki))
 	section("Table 4: And/Filter operator sets (DBpedia-BritM)")
-	RenderOperatorSets(w, dbp, Table4Rows)
+	check(RenderOperatorSets(w, dbp, Table4Rows))
 	section("Table 5: And/Filter/2RPQ operator sets (Wikidata)")
-	RenderOperatorSets(w, wiki, Table5Rows)
+	check(RenderOperatorSets(w, wiki, Table5Rows))
 	section("Table 6: hypertree width and free-connex acyclicity (DBpedia-BritM)")
-	RenderTable6(w, dbp)
+	check(RenderTable6(w, dbp))
 	section("Table 7: shape analysis of graph-CQ+F queries (DBpedia-BritM)")
-	RenderTable7(w, dbp)
+	check(RenderTable7(w, dbp))
 	section("Table 8: property path types (Wikidata)")
-	RenderTable8(w, wiki)
+	check(RenderTable8(w, wiki))
 	section("Section 9.4: well-designed patterns")
-	RenderSection94(w, dbp)
-	RenderSection94(w, wiki)
+	check(RenderSection94(w, dbp))
+	check(RenderSection94(w, wiki))
 	section("Section 9.6: property path tractability")
-	RenderSection96(w, wiki)
+	check(RenderSection96(w, wiki))
+	return firstErr
 }
