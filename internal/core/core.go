@@ -160,6 +160,10 @@ func NewAnalyzer(name string) *Analyzer {
 // valid query; tests use it to inject panics into the battery.
 var analyzeHook func(*sparql.Query)
 
+// parseHook, when non-nil, runs before parsing inside parseSafe; tests
+// use it to inject parser panics and assert they are absorbed.
+var parseHook func(string)
+
 // Ingest processes one raw query string through the full battery. It is
 // panic-safe at the per-query boundary: a pathological input that panics
 // the parser or the analysis battery is counted as invalid instead of
@@ -199,6 +203,9 @@ func parseSafe(raw string) (q *sparql.Query, canon string, ok bool) {
 			q, canon, ok = nil, "", false
 		}
 	}()
+	if parseHook != nil {
+		parseHook(raw)
+	}
 	parsed, err := sparql.Parse(raw)
 	if err != nil {
 		return nil, "", false

@@ -1,0 +1,77 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/jsonschema"
+	"repro/internal/schemastudy"
+)
+
+// jsonSchemaContainment cross-checks the three-valued JSON Schema
+// containment verdict: a NotContained verdict must come with a witness
+// document that actually separates the schemas, a Contained verdict must
+// survive independent randomized refutation attempts with fresh seeds,
+// and reflexive containment must never be refuted.
+type jsonSchemaContainment struct{}
+
+func (jsonSchemaContainment) Name() string { return "jsonschema-containment" }
+
+func (jsonSchemaContainment) Description() string {
+	return "jsonschema.Contains verdict soundness: witness validity, cross-seed stability, reflexivity"
+}
+
+func (o jsonSchemaContainment) Trial(r *rand.Rand) *Divergence {
+	gen := schemastudy.DefaultJSONSchemaGen()
+	src1, src2 := gen.Schema(r), gen.Schema(r)
+	s1, err := jsonschema.Parse(src1)
+	if err != nil {
+		return &Divergence{
+			Input:  src1,
+			Detail: fmt.Sprintf("generator emitted a schema its own parser rejects: %v", err),
+		}
+	}
+	s2, err := jsonschema.Parse(src2)
+	if err != nil {
+		return &Divergence{
+			Input:  src2,
+			Detail: fmt.Sprintf("generator emitted a schema its own parser rejects: %v", err),
+		}
+	}
+
+	if v, w := jsonschema.Contains(s1, s1, 40, r.Int63()); v == jsonschema.NotContained {
+		return &Divergence{
+			Input:  fmt.Sprintf("s=%s witness=%s", src1, w),
+			Detail: "Contains(s,s)=NotContained (reflexivity refuted)",
+		}
+	}
+
+	v, witness := jsonschema.Contains(s1, s2, 40, r.Int63())
+	switch v {
+	case jsonschema.NotContained:
+		if err := s1.Validate(witness); err != nil {
+			return &Divergence{
+				Input:  fmt.Sprintf("s1=%s s2=%s witness=%s", src1, src2, witness),
+				Detail: fmt.Sprintf("NotContained witness does not validate under s1: %v", err),
+			}
+		}
+		if err := s2.Validate(witness); err == nil {
+			return &Divergence{
+				Input:  fmt.Sprintf("s1=%s s2=%s witness=%s", src1, src2, witness),
+				Detail: "NotContained witness validates under s2 (it separates nothing)",
+			}
+		}
+	case jsonschema.Contained:
+		// the structural subsumption claims a proof; independent sampling
+		// rounds with fresh seeds must never find a counterexample
+		for i := 0; i < 3; i++ {
+			if v2, w2 := jsonschema.Contains(s1, s2, 60, r.Int63()); v2 == jsonschema.NotContained {
+				return &Divergence{
+					Input:  fmt.Sprintf("s1=%s s2=%s witness=%s", src1, src2, w2),
+					Detail: "verdict flip: Contained under one seed, NotContained under another (subsumption proof refuted by sampling)",
+				}
+			}
+		}
+	}
+	return nil
+}

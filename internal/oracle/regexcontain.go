@@ -1,0 +1,126 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/automata"
+	"repro/internal/chare"
+	"repro/internal/regex"
+)
+
+// regexContainment cross-checks the automata-theoretic containment
+// decision against randomized counterexample search over sampled words,
+// metamorphic identities, and the specialized CHARE deciders.
+type regexContainment struct{}
+
+func (regexContainment) Name() string { return "regex-containment" }
+
+func (regexContainment) Description() string {
+	return "automata.Contains vs sampled-word refutation, Simplify language preservation, and chare.Contains"
+}
+
+func (o regexContainment) Trial(r *rand.Rand) *Divergence {
+	g := regex.DefaultGen([]string{"a", "b"})
+	g.MaxDepth = 3
+	g.MaxFanout = 3
+	e1, e2 := g.Random(r), g.Random(r)
+	if posCount(e1) > 8 || posCount(e2) > 8 {
+		// containment determinizes; skip oversized instances
+		return nil
+	}
+
+	c := automata.Contains(e1, e2)
+	for i := 0; i < 8; i++ {
+		w, ok := regex.RandomWord(e1, r)
+		if !ok {
+			break
+		}
+		if !regex.Matches(e1, w) {
+			return shrinkContainDivergence(e1, e2, w,
+				func(a, b *regex.Expr, v []string) bool { return !regex.Matches(a, v) },
+				"RandomWord sampled a word from L(e1) that regex.Matches rejects")
+		}
+		if c && !regex.Matches(e2, w) {
+			return shrinkContainDivergence(e1, e2, w,
+				func(a, b *regex.Expr, v []string) bool {
+					return automata.Contains(a, b) && regex.Matches(a, v) && !regex.Matches(b, v)
+				},
+				"automata.Contains(e1,e2)=true refuted by a sampled word of L(e1) outside L(e2)")
+		}
+	}
+
+	// metamorphic identities of the containment decision
+	if !automata.Contains(e1, e1) {
+		return &Divergence{
+			Input:  fmt.Sprintf("e1=%s", e1),
+			Detail: "automata.Contains(e1,e1)=false (reflexivity violated)",
+		}
+	}
+	if !automata.Contains(e1, regex.NewUnion(e1.Clone(), e2.Clone())) {
+		e1s := shrinkExpr(e1, func(c *regex.Expr) bool {
+			return !automata.Contains(c, regex.NewUnion(c.Clone(), e2.Clone()))
+		})
+		return &Divergence{
+			Input:  fmt.Sprintf("e1=%s e2=%s", e1s, e2),
+			Detail: "automata.Contains(e1, e1|e2)=false (union upper bound violated)",
+		}
+	}
+	if s := e1.Simplify(); !automata.Equivalent(e1, s) {
+		e1s := shrinkExpr(e1, func(c *regex.Expr) bool {
+			return !automata.Equivalent(c, c.Simplify())
+		})
+		return &Divergence{
+			Input:  fmt.Sprintf("e1=%s simplified=%s", e1s, e1s.Simplify()),
+			Detail: "Simplify changed the language (automata.Equivalent(e, e.Simplify())=false)",
+		}
+	}
+
+	// specialized CHARE deciders vs the general automata construction
+	c1 := chare.RandomCHARE(r, []string{"a", "b", "c"}, 1+r.Intn(3))
+	c2 := chare.RandomCHARE(r, []string{"a", "b", "c"}, 1+r.Intn(3))
+	got, method := chare.Contains(c1, c2)
+	want := automata.Contains(c1.Expr(), c2.Expr())
+	if got != want {
+		c1, c2 = shrinkCHAREPair(c1, c2)
+		got, method = chare.Contains(c1, c2)
+		want = automata.Contains(c1.Expr(), c2.Expr())
+		return &Divergence{
+			Input: fmt.Sprintf("c1=%s c2=%s", c1, c2),
+			Detail: fmt.Sprintf("chare.Contains=%v (method %v) but automata.Contains=%v",
+				got, method, want),
+		}
+	}
+	return nil
+}
+
+func shrinkContainDivergence(e1, e2 *regex.Expr, w []string,
+	diverges func(*regex.Expr, *regex.Expr, []string) bool, detail string) *Divergence {
+	e1 = shrinkExpr(e1, func(c *regex.Expr) bool { return diverges(c, e2, w) })
+	e2 = shrinkExpr(e2, func(c *regex.Expr) bool { return diverges(e1, c, w) })
+	w = shrinkWord(w, func(c []string) bool { return diverges(e1, e2, c) })
+	return &Divergence{
+		Input:  fmt.Sprintf("e1=%s e2=%s word=%q", e1, e2, strings.Join(w, " ")),
+		Detail: detail,
+	}
+}
+
+// shrinkCHAREPair drops factors from either CHARE while the specialized
+// and general deciders still disagree.
+func shrinkCHAREPair(c1, c2 *chare.CHARE) (*chare.CHARE, *chare.CHARE) {
+	disagree := func(a, b *chare.CHARE) bool {
+		if len(a.Factors) == 0 || len(b.Factors) == 0 {
+			return false
+		}
+		got, _ := chare.Contains(a, b)
+		return got != automata.Contains(a.Expr(), b.Expr())
+	}
+	c1.Factors = shrinkList(c1.Factors, func(fs []chare.Factor) bool {
+		return disagree(&chare.CHARE{Factors: fs}, c2)
+	})
+	c2.Factors = shrinkList(c2.Factors, func(fs []chare.Factor) bool {
+		return disagree(c1, &chare.CHARE{Factors: fs})
+	})
+	return c1, c2
+}

@@ -1,0 +1,295 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/sparqlalg"
+)
+
+// sparqlEval cross-checks the algebra evaluator on BGP and UNION-of-BGP
+// queries against brute-force enumeration of all variable assignments
+// over the graph's terms. The query is built from an oracle-local mini
+// AST, rendered to SPARQL text, and re-parsed — so the parser, the
+// algebra evaluator, and the brute-force matcher are all exercised
+// independently.
+type sparqlEval struct{}
+
+func (sparqlEval) Name() string { return "sparql-eval" }
+
+func (sparqlEval) Description() string {
+	return "sparqlalg.Eval on BGP/UNION queries vs brute-force assignment enumeration"
+}
+
+type sqTerm struct {
+	isVar bool
+	val   string // variable name without '?', or a prefixed-name constant
+}
+
+func (t sqTerm) String() string {
+	if t.isVar {
+		return "?" + t.val
+	}
+	return t.val
+}
+
+type sqTriple [3]sqTerm
+
+// sqQuery is a UNION of basic graph patterns (one branch = plain BGP).
+type sqQuery struct {
+	branches [][]sqTriple
+}
+
+func (q *sqQuery) render() string {
+	var b strings.Builder
+	b.WriteString("SELECT * WHERE { ")
+	branch := func(ts []sqTriple) {
+		for _, t := range ts {
+			fmt.Fprintf(&b, "%s %s %s . ", t[0], t[1], t[2])
+		}
+	}
+	if len(q.branches) == 1 {
+		branch(q.branches[0])
+	} else {
+		for i, ts := range q.branches {
+			if i > 0 {
+				b.WriteString("} UNION { ")
+			} else {
+				b.WriteString("{ ")
+			}
+			branch(ts)
+		}
+		b.WriteString("} ")
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+var (
+	sqNodes = []string{"ex:n0", "ex:n1", "ex:n2", "ex:n3"}
+	sqPreds = []string{"ex:p", "ex:q"}
+	sqVars  = []string{"x", "y", "z"}
+)
+
+func randomSQGraph(r *rand.Rand) *rdf.Graph {
+	g := rdf.NewGraph()
+	m := 3 + r.Intn(5)
+	for i := 0; i < m; i++ {
+		g.Add(sqNodes[r.Intn(len(sqNodes))], sqPreds[r.Intn(len(sqPreds))], sqNodes[r.Intn(len(sqNodes))])
+	}
+	return g
+}
+
+func randomSQQuery(r *rand.Rand) *sqQuery {
+	term := func(pred bool) sqTerm {
+		if r.Float64() < 0.5 {
+			return sqTerm{isVar: true, val: sqVars[r.Intn(len(sqVars))]}
+		}
+		if pred {
+			return sqTerm{val: sqPreds[r.Intn(len(sqPreds))]}
+		}
+		return sqTerm{val: sqNodes[r.Intn(len(sqNodes))]}
+	}
+	branch := func() []sqTriple {
+		n := 1 + r.Intn(3)
+		out := make([]sqTriple, n)
+		for i := range out {
+			out[i] = sqTriple{term(false), term(true), term(false)}
+		}
+		return out
+	}
+	q := &sqQuery{branches: [][]sqTriple{branch()}}
+	if r.Float64() < 0.4 {
+		q.branches = append(q.branches, branch())
+	}
+	return q
+}
+
+// bruteSolutions enumerates every assignment of the branch's variables
+// to graph terms and keeps those under which all triple patterns are in
+// the graph. Solutions are canonicalized as sorted "var=val" strings.
+func bruteSolutions(g *rdf.Graph, q *sqQuery) map[string]bool {
+	domainSet := map[string]bool{}
+	for _, t := range g.Triples() {
+		domainSet[t.S] = true
+		domainSet[t.P] = true
+		domainSet[t.O] = true
+	}
+	var domain []string
+	for x := range domainSet {
+		domain = append(domain, x)
+	}
+	sort.Strings(domain)
+
+	out := map[string]bool{}
+	for _, branch := range q.branches {
+		varSet := map[string]bool{}
+		var vars []string
+		for _, t := range branch {
+			for _, term := range t {
+				if term.isVar && !varSet[term.val] {
+					varSet[term.val] = true
+					vars = append(vars, term.val)
+				}
+			}
+		}
+		assign := map[string]string{}
+		var rec func(i int)
+		rec = func(i int) {
+			if i == len(vars) {
+				for _, t := range branch {
+					resolve := func(x sqTerm) string {
+						if x.isVar {
+							return assign[x.val]
+						}
+						return x.val
+					}
+					if !g.Has(resolve(t[0]), resolve(t[1]), resolve(t[2])) {
+						return
+					}
+				}
+				out[canonAssign(assign)] = true
+				return
+			}
+			for _, v := range domain {
+				assign[vars[i]] = v
+				rec(i + 1)
+			}
+			delete(assign, vars[i])
+			return
+		}
+		rec(0)
+	}
+	return out
+}
+
+func canonAssign(m map[string]string) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%s;", k, m[k])
+	}
+	return b.String()
+}
+
+// evalSolutions runs the production pipeline: render, parse, evaluate,
+// canonicalize. An empty text return means a pipeline error, reported in
+// the second value.
+func evalSolutions(g *rdf.Graph, q *sqQuery) (map[string]bool, error) {
+	text := q.render()
+	parsed, err := sparql.Parse(text)
+	if err != nil {
+		return nil, fmt.Errorf("parse %q: %w", text, err)
+	}
+	sols, err := sparqlalg.Eval(g, parsed)
+	if err != nil {
+		return nil, fmt.Errorf("eval %q: %w", text, err)
+	}
+	out := map[string]bool{}
+	for _, s := range sols {
+		out[canonAssign(map[string]string(s))] = true
+	}
+	return out, nil
+}
+
+func (o sparqlEval) Trial(r *rand.Rand) *Divergence {
+	g := randomSQGraph(r)
+	q := randomSQQuery(r)
+	got, err := evalSolutions(g, q)
+	if err != nil {
+		return &Divergence{
+			Input:  sqInput(g, q),
+			Detail: fmt.Sprintf("generated query failed the parse/eval pipeline: %v", err),
+		}
+	}
+	want := bruteSolutions(g, q)
+	if !sameSet(got, want) {
+		g, q = shrinkSQInstance(g, q)
+		got, _ = evalSolutions(g, q)
+		want = bruteSolutions(g, q)
+		return &Divergence{
+			Input: sqInput(g, q),
+			Detail: fmt.Sprintf("sparqlalg.Eval=%v but brute-force enumeration=%v",
+				setKeys(got), setKeys(want)),
+		}
+	}
+	return nil
+}
+
+func sameSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func setKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sqInput(g *rdf.Graph, q *sqQuery) string {
+	var ts []string
+	for _, t := range g.Triples() {
+		ts = append(ts, fmt.Sprintf("(%s %s %s)", t.S, t.P, t.O))
+	}
+	sort.Strings(ts)
+	return fmt.Sprintf("query=%s graph=%s", q.render(), strings.Join(ts, " "))
+}
+
+// shrinkSQInstance drops graph triples and query patterns while the
+// evaluators still disagree (pipeline errors also count as divergence).
+func shrinkSQInstance(g *rdf.Graph, q *sqQuery) (*rdf.Graph, *sqQuery) {
+	diverges := func(gg *rdf.Graph, qq *sqQuery) bool {
+		for _, b := range qq.branches {
+			if len(b) == 0 {
+				return false
+			}
+		}
+		if len(qq.branches) == 0 {
+			return false
+		}
+		got, err := evalSolutions(gg, qq)
+		if err != nil {
+			return true
+		}
+		return !sameSet(got, bruteSolutions(gg, qq))
+	}
+	rebuild := func(ts []rdf.Triple) *rdf.Graph {
+		out := rdf.NewGraph()
+		for _, t := range ts {
+			out.Add(t.S, t.P, t.O)
+		}
+		return out
+	}
+	triples := shrinkList(g.Triples(), func(ts []rdf.Triple) bool { return diverges(rebuild(ts), q) })
+	g = rebuild(triples)
+	for i := range q.branches {
+		i := i
+		q.branches[i] = shrinkList(q.branches[i], func(ts []sqTriple) bool {
+			saved := q.branches[i]
+			q.branches[i] = ts
+			ok := diverges(g, q)
+			q.branches[i] = saved
+			return ok
+		})
+	}
+	return g, q
+}

@@ -109,6 +109,44 @@ func (f *DNF) String() string {
 	return s
 }
 
+// consistentClauses drops clauses containing complementary literals.
+// Such clauses are unsatisfiable and contribute nothing to the
+// disjunction, but the slot encodings below cannot express them: polarity
+// keeps one entry per variable, so x∧¬x would silently encode as the
+// satisfiable ¬x (surfaced by the round-trip table in
+// TestReductionRoundTripTable).
+func (f *DNF) consistentClauses() []Clause {
+	out := make([]Clause, 0, len(f.Clauses))
+	for _, cl := range f.Clauses {
+		pos, neg := map[int]bool{}, map[int]bool{}
+		for _, lit := range cl {
+			if lit > 0 {
+				pos[int(lit)] = true
+			} else {
+				neg[-int(lit)] = true
+			}
+		}
+		ok := true
+		for v := range pos {
+			if neg[v] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, cl)
+		}
+	}
+	return out
+}
+
+// neverContained is the degenerate instance for formulas whose clauses
+// are all unsatisfiable: such formulas are never valid, so return a pair
+// with L(e1) ⊄ L(e2) using only plain symbols (inside every fragment).
+func neverContained() (*regex.Expr, *regex.Expr) {
+	return regex.NewSymbol(hash), regex.NewSymbol(dollar)
+}
+
 func (f *DNF) polarity(cl Clause) map[int]int {
 	pol := map[int]int{}
 	for _, lit := range cl {
@@ -132,7 +170,11 @@ const (
 // ToOptContainment builds the RE(a,a?) instance: expressions e1, e2 such
 // that φ is valid iff L(e1) ⊆ L(e2).
 func (f *DNF) ToOptContainment() (e1, e2 *regex.Expr) {
-	n, m := f.Vars, len(f.Clauses)
+	clauses := f.consistentClauses()
+	if len(clauses) == 0 {
+		return neverContained()
+	}
+	n, m := f.Vars, len(clauses)
 	sym := regex.NewSymbol
 	opt := func(a string) *regex.Expr { return regex.NewOpt(sym(a)) }
 
@@ -205,7 +247,7 @@ func (f *DNF) ToOptContainment() (e1, e2 *regex.Expr) {
 	for i := 0; i < m-1; i++ {
 		p2 = optional(p2)
 	}
-	for _, cl := range f.Clauses {
+	for _, cl := range clauses {
 		p2 = clause(p2, cl)
 	}
 	for i := 0; i < m-1; i++ {
@@ -218,7 +260,11 @@ func (f *DNF) ToOptContainment() (e1, e2 *regex.Expr) {
 // ToStarContainment builds the RE(a,a*) instance of Appendix A, in which
 // the word "ab" encodes true and "ba" encodes false.
 func (f *DNF) ToStarContainment() (e1, e2 *regex.Expr) {
-	n, m := f.Vars, len(f.Clauses)
+	clauses := f.consistentClauses()
+	if len(clauses) == 0 {
+		return neverContained()
+	}
+	n, m := f.Vars, len(clauses)
 	sym := regex.NewSymbol
 	star := func(a string) *regex.Expr { return regex.NewStar(sym(a)) }
 
@@ -291,7 +337,7 @@ func (f *DNF) ToStarContainment() (e1, e2 *regex.Expr) {
 	for i := 0; i < m-1; i++ {
 		p2 = optional(p2)
 	}
-	for _, cl := range f.Clauses {
+	for _, cl := range clauses {
 		p2 = clause(p2, cl)
 	}
 	for i := 0; i < m-1; i++ {

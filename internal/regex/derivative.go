@@ -27,7 +27,7 @@ func Derivative(e *Expr, a string) *Expr {
 				subs = append(subs, d)
 			}
 		}
-		return NewUnion(subs...)
+		return unionSimilar(subs)
 	case Concat:
 		// d(e1 e2 … en) = d(e1) e2…en  +  [e1 nullable] d(e2 e3…en) …
 		var parts []*Expr
@@ -41,7 +41,7 @@ func Derivative(e *Expr, a string) *Expr {
 				break
 			}
 		}
-		return NewUnion(parts...)
+		return unionSimilar(parts)
 	case Star:
 		d := Derivative(e.Sub(), a)
 		if d.Kind == Empty {
@@ -58,6 +58,33 @@ func Derivative(e *Expr, a string) *Expr {
 		return Derivative(e.Sub(), a)
 	}
 	panic("regex: unknown kind")
+}
+
+// unionSimilar builds a union with syntactically duplicate alternatives
+// removed — Brzozowski's similarity (ACI for union). Without it the
+// derivative chains of nested iteration operators duplicate alternatives
+// at every step and successive word derivatives grow exponentially;
+// with it they stay polynomial (the differential oracle surfaced a
+// 20-second membership test on a 16-symbol word, see
+// TestMatchesDerivativeNoBlowup).
+func unionSimilar(subs []*Expr) *Expr {
+	u := NewUnion(subs...)
+	if u.Kind != Union {
+		return u
+	}
+	seen := make(map[string]bool, len(u.Subs))
+	kept := make([]*Expr, 0, len(u.Subs))
+	for _, s := range u.Subs {
+		k := s.String()
+		if !seen[k] {
+			seen[k] = true
+			kept = append(kept, s)
+		}
+	}
+	if len(kept) == len(u.Subs) {
+		return u
+	}
+	return NewUnion(kept...)
 }
 
 func cloneAll(es []*Expr) []*Expr {

@@ -1,0 +1,44 @@
+package regex
+
+import (
+	"testing"
+	"time"
+)
+
+// Regression test for the exponential derivative blowup surfaced by the
+// differential oracle (rwdfuzz -oracle regex-membership -replay 34):
+// without union similarity (ACI dedup), successive word derivatives of
+// nested iteration operators duplicated alternatives at every step and a
+// single 16-symbol membership test took tens of seconds.
+func TestMatchesDerivativeNoBlowup(t *testing.T) {
+	e := MustParse("((a (a* c* c? a)*)+ + (b* (c* a? c c?)* b+)+)*")
+	words := [][]string{
+		{"a", "a", "c", "a", "a", "c", "a", "a", "c", "a", "a", "c", "a", "a", "c", "a"},
+		{"b", "c", "c", "b", "b", "c", "c", "b", "b", "c", "c", "b", "b", "c", "c", "b"},
+	}
+	for _, w := range words {
+		start := time.Now()
+		got := MatchesDerivative(e, w)
+		if d := time.Since(start); d > 2*time.Second {
+			t.Fatalf("MatchesDerivative took %v on a 16-symbol word (derivative blowup)", d)
+		}
+		if want := Matches(e, w); got != want {
+			t.Fatalf("MatchesDerivative=%v but Matches=%v on %v", got, want, w)
+		}
+	}
+}
+
+// TestUnionSimilarPreservesLanguage pins the ACI dedup itself: duplicate
+// and nested-union alternatives collapse without changing the language.
+func TestUnionSimilarPreservesLanguage(t *testing.T) {
+	a, b := NewSymbol("a"), NewSymbol("b")
+	u := unionSimilar([]*Expr{a.Clone(), NewUnion(a.Clone(), b.Clone()), a.Clone()})
+	if u.Kind != Union || len(u.Subs) != 2 {
+		t.Fatalf("unionSimilar kept duplicates: %s", u)
+	}
+	for _, w := range [][]string{{"a"}, {"b"}, {"a", "b"}, {}} {
+		if MatchesDerivative(u, w) != Matches(NewUnion(a, b), w) {
+			t.Fatalf("unionSimilar changed the language on %v", w)
+		}
+	}
+}

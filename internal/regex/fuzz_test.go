@@ -1,0 +1,34 @@
+package regex
+
+import "testing"
+
+// FuzzParse asserts the parser never panics on arbitrary input and that
+// accepted expressions survive a String/Parse round-trip: re-parsing the
+// printed form must succeed and print identically (String is a fixpoint).
+func FuzzParse(f *testing.F) {
+	f.Add("(a b* + c)+")
+	f.Add("a? (b + ()) c*")
+	f.Add("((a))")
+	f.Add("a +")
+	f.Add("∅")
+	f.Add("a b c d e f g h + i*")
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := e.String()
+		e2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("Parse(%q) ok but re-parse of String %q failed: %v", src, printed, err)
+		}
+		if got := e2.String(); got != printed {
+			t.Fatalf("String not a fixpoint: %q -> %q -> %q", src, printed, got)
+		}
+		// the empty word is cheap to decide on any expression and ties the
+		// matcher to the syntactic nullability predicate
+		if Matches(e, nil) != e.Nullable() {
+			t.Fatalf("Matches(e, ε)=%v but Nullable=%v for %q", Matches(e, nil), e.Nullable(), printed)
+		}
+	})
+}

@@ -1,0 +1,39 @@
+package sparql
+
+import "testing"
+
+// FuzzParse asserts the SPARQL parser never panics on arbitrary input and
+// that every accepted query supports the analysis surface the log studies
+// rely on: Canonical is deterministic, and the feature/classification
+// battery runs without panicking.
+func FuzzParse(f *testing.F) {
+	f.Add("SELECT * WHERE { ?s ?p ?o . }")
+	f.Add("SELECT DISTINCT ?s WHERE { ?s wdt:P31/wdt:P279* wd:Q5 . FILTER(?s != wd:Q1) }")
+	f.Add("ASK { { ?s ex:p ?o } UNION { ?s ex:q ?o } OPTIONAL { ?o ex:r ?x } }")
+	f.Add("SELECT (COUNT(?x) AS ?n) WHERE { ?x ?p ?y } GROUP BY ?p HAVING (COUNT(?x) > 1) ORDER BY ?n LIMIT 5")
+	f.Add("PREFIX f: <http://x/> DESCRIBE f:e")
+	f.Add("SELECT * WHERE { ?s !(ex:p|^ex:q) ?o }")
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		c1 := q.Canonical()
+		q2, err := Parse(src)
+		if err != nil {
+			t.Fatalf("second Parse of accepted input %q failed: %v", src, err)
+		}
+		if c2 := q2.Canonical(); c1 != c2 {
+			t.Fatalf("Canonical nondeterministic for %q:\n%q\n%q", src, c1, c2)
+		}
+		// the analysis battery must tolerate every parseable query
+		q.Features()
+		q.Operators()
+		q.TripleCount()
+		q.PropertyPaths()
+		q.IsCQ()
+		q.IsCQF()
+		q.IsC2RPQF()
+		q.Walk(func(*Pattern) {})
+	})
+}

@@ -1,0 +1,99 @@
+package xpath
+
+import "testing"
+
+// TestExpressibleTable pins every rewrite rule of expressible.go against
+// the three fragment classifications, one row per interesting shape.
+func TestExpressibleTable(t *testing.T) {
+	cases := []struct {
+		src                      string
+		positive, core, downward bool
+	}{
+		// already positive, core and downward
+		{"/a/b[c]", true, true, true},
+		// double-negation elimination restores positivity
+		{"/a[not(not(b))]", true, true, true},
+		// quadruple negation reduces all the way
+		{"/a[not(not(not(not(b))))]", true, true, true},
+		// genuine single negation: core but not positive
+		{"/a[not(b)]", false, true, true},
+		// De Morgan + double negation: not(not(a) or not(b)) = a and b
+		{"/x[not(not(a) or not(b))]", true, true, true},
+		// dual form: not(not(a) and not(b)) = a or b
+		{"/x[not(not(a) and not(b))]", true, true, true},
+		// De Morgan exposing only one inner double negation keeps a not()
+		{"/x[not(not(a) or b)]", false, true, true},
+		// tautological [.] predicate is dropped
+		{"/a[.]/b", true, true, true},
+		// true or p collapses to true, so the whole predicate drops
+		{"/a[. or not(b)]/c", true, true, true},
+		// true and p collapses to p, leaving a positive predicate
+		{"/a[. and b]/c", true, true, true},
+		// trivial self steps flatten away without changing fragments
+		{"/a/./b", true, true, true},
+		// upward axis: positive but not downward
+		{"/a/b/parent::a", true, true, false},
+		// descendant axis stays downward
+		{"//a[b]", true, true, true},
+		// positional predicate is beyond core
+		{"/a[2]", true, false, true},
+		// count comparison is beyond core
+		{"/a[count(b)=1]", true, false, true},
+	}
+	for _, c := range cases {
+		e := MustParse(c.src)
+		if got := ExpressiblePositive(e); got != c.positive {
+			t.Errorf("ExpressiblePositive(%q) = %v, want %v (rewritten: %s)", c.src, got, c.positive, Rewrite(e))
+		}
+		if got := ExpressibleCore(e); got != c.core {
+			t.Errorf("ExpressibleCore(%q) = %v, want %v (rewritten: %s)", c.src, got, c.core, Rewrite(e))
+		}
+		if got := ExpressibleDownward(e); got != c.downward {
+			t.Errorf("ExpressibleDownward(%q) = %v, want %v (rewritten: %s)", c.src, got, c.downward, Rewrite(e))
+		}
+	}
+}
+
+// TestRewriteIdempotent asserts Rewrite is a fixpoint operator: rewriting
+// a rewritten query changes nothing (no rule re-fires on normalized form).
+func TestRewriteIdempotent(t *testing.T) {
+	for _, src := range []string{
+		"/a[not(not(b))]",
+		"/x[not(not(a) or not(b))]",
+		"/a[. or not(b)]/c",
+		"/a/./b[not(c)]",
+		"//a[not(. and not(b))]",
+		"/a[2][count(b)=1]",
+	} {
+		r1 := Rewrite(MustParse(src))
+		r2 := Rewrite(r1)
+		if r1.String() != r2.String() {
+			t.Errorf("Rewrite not idempotent on %q: %s vs %s", src, r1, r2)
+		}
+	}
+}
+
+// TestRewriteTableEvaluation checks on the Figure 1 document that each
+// table rewrite preserves the evaluated node set where both the original
+// and the rewritten query are evaluable.
+func TestRewriteTableEvaluation(t *testing.T) {
+	root := figure1()
+	for _, src := range []string{
+		"/persons/person[not(not(name))]",
+		"/persons/./person",
+		"//person[. or not(name)]",
+		"//birthplace[not(not(city) and not(not(state)))]",
+	} {
+		e := MustParse(src)
+		r := Rewrite(e)
+		got1, ok1 := Eval(e, root)
+		got2, ok2 := Eval(r, root)
+		if !ok1 || !ok2 {
+			t.Errorf("%q (rewritten %s) not evaluable (ok1=%v ok2=%v)", src, r, ok1, ok2)
+			continue
+		}
+		if len(got1) != len(got2) {
+			t.Errorf("Rewrite changed semantics of %q: %d vs %d nodes (rewritten %s)", src, len(got1), len(got2), r)
+		}
+	}
+}
