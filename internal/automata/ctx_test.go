@@ -1,0 +1,125 @@
+package automata
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/regex"
+)
+
+// adversarialRight builds (a|b)* a (a|b)^n, whose Glushkov automaton
+// needs 2^n subset states to determinize — the classic PSPACE-hardness
+// shape a service must be able to abort.
+func adversarialRight(n int) *regex.Expr {
+	var b strings.Builder
+	b.WriteString("(a|b)* a")
+	for i := 0; i < n; i++ {
+		b.WriteString(" (a|b)")
+	}
+	return regex.MustParse(b.String())
+}
+
+func TestContainsCtxAgreesWithContains(t *testing.T) {
+	cases := [][2]string{
+		{"a b", "a (b|c)"},
+		{"(a|b)*", "(a|b)* (a|b)*"},
+		{"a* b*", "(a|b)*"},
+		{"(a|b)*", "a* b*"},
+		{"b* a (b* a)*", "(a|b)* a (a|b)*"},
+	}
+	for _, c := range cases {
+		e1, e2 := regex.MustParse(c[0]), regex.MustParse(c[1])
+		want := Contains(e1, e2)
+		got, err := ContainsCtx(context.Background(), e1, e2)
+		if err != nil {
+			t.Fatalf("ContainsCtx(%q, %q): %v", c[0], c[1], err)
+		}
+		if got != want {
+			t.Fatalf("ContainsCtx(%q, %q) = %v, Contains = %v", c[0], c[1], got, want)
+		}
+	}
+}
+
+func TestContainsCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ContainsCtx(ctx, regex.MustParse("(a|b)*"), adversarialRight(20))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestContainsCtxDeadlineAbortsBlowup(t *testing.T) {
+	// 2^26 subset states cannot be materialized in 100ms; the deadline
+	// must abort the determinization instead of letting it run away.
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := ContainsCtx(ctx, regex.MustParse("(a|b)*"), adversarialRight(26))
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("cancellation took %v, want < 500ms after a 100ms deadline", elapsed)
+	}
+}
+
+func TestDeterminizeCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DeterminizeCtx(ctx, Glushkov(adversarialRight(20))); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestIntersectionWitnessCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	es := []*regex.Expr{adversarialRight(12), adversarialRight(13), adversarialRight(14)}
+	if _, _, err := IntersectionWitnessCtx(ctx, es...); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestEquivalentCtx(t *testing.T) {
+	ok, err := EquivalentCtx(context.Background(), regex.MustParse("(a|b)*"), regex.MustParse("(b|a)*"))
+	if err != nil || !ok {
+		t.Fatalf("equivalent = %v, %v", ok, err)
+	}
+}
+
+// benchInstance is a moderate containment instance (2^10 subset states)
+// that exercises both the determinization and the product search.
+func benchInstance() (*regex.Expr, *regex.Expr) {
+	return regex.MustParse("b* a (b* a)*"), adversarialRight(10)
+}
+
+// BenchmarkContains measures the context-free entry point; its checkpoints
+// run against context.Background(), whose Err is a constant nil.
+func BenchmarkContains(b *testing.B) {
+	e1, e2 := benchInstance()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Contains(e1, e2)
+	}
+}
+
+// BenchmarkContainsCtx measures the same instance under a live cancelable
+// deadline context — the production configuration of rwdserve. Comparing
+// against BenchmarkContains bounds the cancellation-checkpoint overhead
+// (target: < 5%).
+func BenchmarkContainsCtx(b *testing.B) {
+	e1, e2 := benchInstance()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ContainsCtx(ctx, e1, e2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

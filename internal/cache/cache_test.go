@@ -1,0 +1,91 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := New(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if _, ok := c.Get("a"); !ok { // a becomes most recent
+		t.Fatal("a should be present")
+	}
+	c.Put("c", 3) // evicts b, the least recently used
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("a = %v, %v", v, ok)
+	}
+	if v, ok := c.Get("c"); !ok || v.(int) != 3 {
+		t.Fatalf("c = %v, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Len != 2 || st.Capacity != 2 {
+		t.Fatalf("len/cap = %d/%d", st.Len, st.Capacity)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	c := New(4)
+	c.Get("missing")
+	c.Put("k", "v")
+	c.Get("k")
+	c.Get("k")
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 2/1", st.Hits, st.Misses)
+	}
+}
+
+func TestPutRefreshesExistingKey(t *testing.T) {
+	c := New(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("a", 10) // refresh, no eviction
+	c.Put("c", 3)  // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if v, _ := c.Get("a"); v.(int) != 10 {
+		t.Fatalf("a = %v, want 10", v)
+	}
+}
+
+func TestZeroCapacityDisables(t *testing.T) {
+	c := New(0)
+	c.Put("a", 1)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("zero-capacity cache must always miss")
+	}
+	if st := c.Stats(); st.Misses != 1 || st.Len != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", i%100)
+				c.Put(k, i)
+				c.Get(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Len > 64 {
+		t.Fatalf("len %d exceeds capacity", st.Len)
+	}
+}

@@ -1,6 +1,8 @@
 package dtd
 
 import (
+	"context"
+
 	"repro/internal/automata"
 	"repro/internal/chare"
 )
@@ -17,14 +19,27 @@ import (
 // labels are realizable in d1 (and validity in d2 would require the word
 // in L(ρ2(a))).
 func Contains(d1, d2 *DTD) bool {
-	real := d1.Realizable()
+	ok, _ := ContainsCtx(context.Background(), d1, d2)
+	return ok
+}
+
+// ContainsCtx is Contains with cooperative cancellation: the per-label
+// regular-expression containment checks (each PSPACE-hard in general)
+// and the realizability fixpoint honor ctx, so a server can abort an
+// adversarial instance at its deadline. On cancellation the boolean is
+// meaningless and the error is ctx.Err().
+func ContainsCtx(ctx context.Context, d1, d2 *DTD) (bool, error) {
+	real, err := d1.realizableCtx(ctx)
+	if err != nil {
+		return false, err
+	}
 	// reachable ∩ realizable labels of d1, starting from realizable starts
 	reachable := map[string]bool{}
 	var stack []string
 	for s := range d1.Start {
 		if real[s] {
 			if !d2.Start[s] {
-				return false // a valid single-root tree exists only under d1… unless not realizable
+				return false, nil // a valid single-root tree exists only under d1… unless not realizable
 			}
 			if !reachable[s] {
 				reachable[s] = true
@@ -43,12 +58,19 @@ func Contains(d1, d2 *DTD) bool {
 		}
 	}
 	for a := range reachable {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
 		n := restrictNFA(automata.Glushkov(d1.Rule(a)), real)
-		if !automata.NFAContains(n, d2.Rule(a)) {
-			return false
+		ok, err := automata.NFAContainsCtx(ctx, n, d2.Rule(a))
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
 		}
 	}
-	return true
+	return true, nil
 }
 
 // Equivalent reports L(d1) = L(d2).

@@ -1,0 +1,73 @@
+package dtd
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/regex"
+)
+
+// adversarialDTDs builds a containment instance whose per-label regex
+// check requires a 2^n subset construction.
+func adversarialDTDs(n int) (*DTD, *DTD) {
+	var b strings.Builder
+	b.WriteString("(a|b)* a")
+	for i := 0; i < n; i++ {
+		b.WriteString(" (a|b)")
+	}
+	d1 := New().AddStart("r").
+		AddRule("r", regex.MustParse("(a|b)*")).
+		AddRule("a", regex.NewEpsilon()).
+		AddRule("b", regex.NewEpsilon())
+	d2 := New().AddStart("r").
+		AddRule("r", regex.MustParse(b.String())).
+		AddRule("a", regex.NewEpsilon()).
+		AddRule("b", regex.NewEpsilon())
+	return d1, d2
+}
+
+func TestContainsCtxAgreesWithContains(t *testing.T) {
+	d1, d2 := adversarialDTDs(4) // small enough to decide exactly
+	want := Contains(d1, d2)
+	got, err := ContainsCtx(context.Background(), d1, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("ContainsCtx = %v, Contains = %v", got, want)
+	}
+	// and a positive instance
+	ok, err := ContainsCtx(context.Background(), d2, d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("d2 ⊆ d1 should hold: every word of d2's root rule is in (a|b)*")
+	}
+}
+
+func TestContainsCtxDeadlineAbortsBlowup(t *testing.T) {
+	d1, d2 := adversarialDTDs(26)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := ContainsCtx(ctx, d1, d2)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("cancellation took %v, want < 500ms", elapsed)
+	}
+}
+
+func TestContainsCtxPreCanceled(t *testing.T) {
+	d1, d2 := adversarialDTDs(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ContainsCtx(ctx, d1, d2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -13,6 +13,7 @@
 package dtd
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -192,10 +193,22 @@ func reaches(succ map[string][]string, from, target string) bool {
 // at an a-labeled node is valid, computed as the least fixpoint: a is
 // realizable iff L(ρ(a)) restricted to realizable labels is non-empty.
 func (d *DTD) Realizable() map[string]bool {
+	real, _ := d.realizableCtx(context.Background())
+	return real
+}
+
+// realizableCtx is the fixpoint behind Realizable with a context check
+// per label per pass: the loop is polynomial in the DTD size, but large
+// adversarial DTDs still deserve a deadline.
+func (d *DTD) realizableCtx(ctx context.Context) (map[string]bool, error) {
 	real := map[string]bool{}
+	alpha := d.Alphabet()
 	for {
 		changed := false
-		for _, a := range d.Alphabet() {
+		for _, a := range alpha {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if real[a] {
 				continue
 			}
@@ -205,7 +218,7 @@ func (d *DTD) Realizable() map[string]bool {
 			}
 		}
 		if !changed {
-			return real
+			return real, nil
 		}
 	}
 }

@@ -6,6 +6,8 @@
 package kore
 
 import (
+	"context"
+
 	"repro/internal/automata"
 	"repro/internal/regex"
 )
@@ -51,6 +53,13 @@ func DeterminizeWithinBound(e *regex.Expr) (states, bound int, ok bool) {
 // same quantity.
 func Containment(e1, e2 *regex.Expr) bool {
 	return automata.Contains(e1, e2)
+}
+
+// ContainmentCtx is Containment with cooperative cancellation: although
+// polynomial for fixed k, the |Σ|·2^k DFA bound still grows quickly with
+// k, so servers run the check under a deadline.
+func ContainmentCtx(ctx context.Context, e1, e2 *regex.Expr) (bool, error) {
+	return automata.ContainsCtx(ctx, e1, e2)
 }
 
 // Intersection decides intersection non-emptiness for k-OREs. The problem

@@ -1,0 +1,62 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func benchServer(b *testing.B, cacheSize int) *Server {
+	b.Helper()
+	return New(Config{CacheSize: cacheSize, Logger: log.New(io.Discard, "", 0)})
+}
+
+func doContainment(b *testing.B, s *Server, body string) int {
+	req := httptest.NewRequest("POST", "/v1/containment", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	return rec.Code
+}
+
+// BenchmarkServeContainmentCold measures full request cost with a
+// guaranteed cache miss per iteration (every request uses a fresh label,
+// so canonical keys never repeat): parse + canonicalize + Glushkov +
+// determinize + product + JSON round trip.
+func BenchmarkServeContainmentCold(b *testing.B) {
+	s := benchServer(b, b.N+1)
+	bodies := make([]string, b.N)
+	for i := range bodies {
+		bodies[i] = fmt.Sprintf(
+			`{"engine":"regex","left":"(a|b)* x%d","right":"(a|b)* (a|b) x%d"}`, i, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if code := doContainment(b, s, bodies[i]); code != 200 {
+			b.Fatalf("code=%d", code)
+		}
+	}
+}
+
+// BenchmarkServeContainmentCacheHit measures the same request served
+// from the verdict cache: parse + canonicalize + lookup + JSON round
+// trip, skipping the decision procedure entirely.
+func BenchmarkServeContainmentCacheHit(b *testing.B) {
+	s := benchServer(b, 16)
+	body := `{"engine":"regex","left":"(a|b)* x","right":"(a|b)* (a|b) x"}`
+	if code := doContainment(b, s, body); code != 200 {
+		b.Fatalf("warmup code=%d", code)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if code := doContainment(b, s, body); code != 200 {
+			b.Fatalf("code=%d", code)
+		}
+	}
+	b.StopTimer()
+	if st := s.CacheStats(); st.Hits < uint64(b.N) {
+		b.Fatalf("hits = %d, want >= %d", st.Hits, b.N)
+	}
+}

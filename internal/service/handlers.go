@@ -1,0 +1,446 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"time"
+
+	"repro/internal/automata"
+	"repro/internal/core"
+	"repro/internal/dtd"
+	"repro/internal/edtd"
+	"repro/internal/inference"
+	"repro/internal/jsonschema"
+	"repro/internal/kore"
+	"repro/internal/regex"
+	"repro/internal/tree"
+)
+
+// jsonschemaSamples is the randomized-refutation budget of the
+// jsonschema containment engine; fixed (with the seed) so that verdicts
+// are deterministic and therefore cacheable.
+const jsonschemaSamples = 200
+
+// ---- POST /v1/containment ----
+
+type containmentRequest struct {
+	// Engine selects the decision procedure: regex (general, PSPACE),
+	// kore (k-ORE, Theorem 4.6), dtd (Definition 4.1 reduction), or
+	// jsonschema (sound-but-incomplete three-valued check).
+	Engine string `json:"engine"`
+	Left   string `json:"left"`
+	Right  string `json:"right"`
+	// DeadlineMS overrides the server's default deadline (clamped to the
+	// configured maximum).
+	DeadlineMS int `json:"deadline_ms"`
+}
+
+type containmentResponse struct {
+	Engine    string  `json:"engine"`
+	Contained bool    `json:"contained"`
+	Verdict   string  `json:"verdict"`
+	Witness   string  `json:"witness,omitempty"`
+	Cached    bool    `json:"cached"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+func (s *Server) handleContainment(ctx context.Context, body []byte) (any, *apiError) {
+	var req containmentRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, errBadRequest("invalid JSON: %v", err)
+	}
+	if req.Left == "" || req.Right == "" {
+		return nil, errBadRequest("left and right are required")
+	}
+
+	// Parse and canonicalize both sides up front: the canonical rendering
+	// is the cache key, so "a|b" and "( a | b )" share an entry.
+	var engine func(ctx context.Context) (bool, string, string, error) // contained, verdict, witness
+	var key string
+	switch req.Engine {
+	case "regex", "kore":
+		e1, err := regex.Parse(req.Left)
+		if err != nil {
+			return nil, errBadRequest("left: %v", err)
+		}
+		e2, err := regex.Parse(req.Right)
+		if err != nil {
+			return nil, errBadRequest("right: %v", err)
+		}
+		key = cacheKey(req.Engine, e1.String(), e2.String())
+		contains := automata.ContainsCtx
+		if req.Engine == "kore" {
+			contains = kore.ContainmentCtx
+		}
+		engine = func(ctx context.Context) (bool, string, string, error) {
+			ok, err := contains(ctx, e1, e2)
+			return ok, boolVerdict(ok), "", err
+		}
+	case "dtd":
+		d1, err := dtd.ParseText(req.Left, "")
+		if err != nil {
+			return nil, errBadRequest("left: %v", err)
+		}
+		d2, err := dtd.ParseText(req.Right, "")
+		if err != nil {
+			return nil, errBadRequest("right: %v", err)
+		}
+		key = cacheKey("dtd", d1.String(), d2.String())
+		engine = func(ctx context.Context) (bool, string, string, error) {
+			ok, err := dtd.ContainsCtx(ctx, d1, d2)
+			return ok, boolVerdict(ok), "", err
+		}
+	case "jsonschema":
+		s1, err := jsonschema.Parse(req.Left)
+		if err != nil {
+			return nil, errBadRequest("left: %v", err)
+		}
+		s2, err := jsonschema.Parse(req.Right)
+		if err != nil {
+			return nil, errBadRequest("right: %v", err)
+		}
+		cl, err := canonicalJSON(req.Left)
+		if err != nil {
+			return nil, errBadRequest("left: %v", err)
+		}
+		cr, err := canonicalJSON(req.Right)
+		if err != nil {
+			return nil, errBadRequest("right: %v", err)
+		}
+		key = cacheKey("jsonschema", cl, cr)
+		engine = func(ctx context.Context) (bool, string, string, error) {
+			v, witness := jsonschema.Contains(s1, s2, jsonschemaSamples, 1)
+			switch v {
+			case jsonschema.Contained:
+				return true, "contained", "", nil
+			case jsonschema.NotContained:
+				return false, "not_contained", witness, nil
+			}
+			return false, "unknown", "", nil
+		}
+	default:
+		return nil, errBadRequest("unknown engine %q (want regex, kore, dtd, or jsonschema)", req.Engine)
+	}
+
+	if v, ok := s.cache.Get(key); ok {
+		resp := v.(containmentResponse)
+		resp.Cached = true
+		return resp, nil
+	}
+	start := time.Now()
+	out, aerr := runEngine(ctx, func(ctx context.Context) (any, error) {
+		ok, verdict, witness, err := engine(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return containmentResponse{
+			Engine:    req.Engine,
+			Contained: ok,
+			Verdict:   verdict,
+			Witness:   witness,
+			ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		}, nil
+	})
+	if aerr != nil {
+		return nil, aerr // timeouts are not cached: the verdict is unknown
+	}
+	resp := out.(containmentResponse)
+	s.cache.Put(key, resp)
+	return resp, nil
+}
+
+func boolVerdict(ok bool) string {
+	if ok {
+		return "contained"
+	}
+	return "not_contained"
+}
+
+func cacheKey(engine string, parts ...string) string {
+	key := engine
+	for _, p := range parts {
+		key += "\x1f" + p
+	}
+	return key
+}
+
+// canonicalJSON re-renders a JSON document with sorted object keys and no
+// insignificant whitespace, so syntactically different but identical
+// schemas share a cache entry.
+func canonicalJSON(doc string) (string, error) {
+	var v any
+	if err := json.Unmarshal([]byte(doc), &v); err != nil {
+		return "", err
+	}
+	out, err := json.Marshal(v) // Go marshals map keys in sorted order
+	if err != nil {
+		return "", err
+	}
+	return string(out), nil
+}
+
+// ---- POST /v1/membership ----
+
+type membershipRequest struct {
+	Expr       string   `json:"expr"`
+	Word       []string `json:"word"`
+	DeadlineMS int      `json:"deadline_ms"`
+}
+
+type membershipResponse struct {
+	Member bool `json:"member"`
+	// Deterministic reports whether the expression is deterministic in
+	// the Brüggemann-Klein & Wood sense (its Glushkov automaton is a DFA).
+	Deterministic bool `json:"deterministic"`
+}
+
+func (s *Server) handleMembership(ctx context.Context, body []byte) (any, *apiError) {
+	var req membershipRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, errBadRequest("invalid JSON: %v", err)
+	}
+	e, err := regex.Parse(req.Expr)
+	if err != nil {
+		return nil, errBadRequest("expr: %v", err)
+	}
+	return runEngine(ctx, func(ctx context.Context) (any, error) {
+		n := automata.Glushkov(e)
+		return membershipResponse{
+			Member:        n.Accepts(req.Word),
+			Deterministic: n.IsDeterministic(),
+		}, nil
+	})
+}
+
+// ---- POST /v1/validate ----
+
+type edtdTypeJSON struct {
+	Name    string `json:"name"`
+	Label   string `json:"label"`
+	Content string `json:"content"` // regular expression over type names
+}
+
+type validateRequest struct {
+	// Kind selects the schema language: dtd, edtd, or single-type.
+	Kind string `json:"kind"`
+	// Schema is DTD text (<!ELEMENT …>) for kind=dtd.
+	Schema string `json:"schema,omitempty"`
+	// Root optionally overrides the DTD start label.
+	Root string `json:"root,omitempty"`
+	// Types and Start define the EDTD for kind=edtd / single-type.
+	Types []edtdTypeJSON `json:"types,omitempty"`
+	Start []string       `json:"start,omitempty"`
+	// Docs are documents in label(child, …) tree syntax.
+	Docs       []string `json:"docs"`
+	DeadlineMS int      `json:"deadline_ms"`
+}
+
+type validateResult struct {
+	Valid bool   `json:"valid"`
+	Error string `json:"error,omitempty"`
+}
+
+type validateResponse struct {
+	Kind    string           `json:"kind"`
+	Results []validateResult `json:"results"`
+}
+
+func (s *Server) handleValidate(ctx context.Context, body []byte) (any, *apiError) {
+	var req validateRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, errBadRequest("invalid JSON: %v", err)
+	}
+	if len(req.Docs) == 0 {
+		return nil, errBadRequest("docs is required")
+	}
+	docs := make([]*tree.Node, len(req.Docs))
+	for i, d := range req.Docs {
+		t, err := tree.Parse(d)
+		if err != nil {
+			return nil, errBadRequest("docs[%d]: %v", i, err)
+		}
+		docs[i] = t
+	}
+
+	var check func(*tree.Node) validateResult
+	switch req.Kind {
+	case "dtd":
+		if req.Schema == "" {
+			return nil, errBadRequest("schema (DTD text) is required for kind=dtd")
+		}
+		d, err := dtd.ParseText(req.Schema, req.Root)
+		if err != nil {
+			return nil, errBadRequest("schema: %v", err)
+		}
+		check = func(t *tree.Node) validateResult {
+			if err := d.Validate(t); err != nil {
+				return validateResult{Valid: false, Error: err.Error()}
+			}
+			return validateResult{Valid: true}
+		}
+	case "edtd", "single-type":
+		d, aerr := buildEDTD(req.Types, req.Start)
+		if aerr != nil {
+			return nil, aerr
+		}
+		valid := d.Valid
+		if req.Kind == "single-type" {
+			if !d.IsSingleType() {
+				return nil, errBadRequest("the given EDTD is not single-type")
+			}
+			valid = d.ValidSingleType
+		}
+		check = func(t *tree.Node) validateResult {
+			if !valid(t) {
+				return validateResult{Valid: false, Error: "no valid typing exists"}
+			}
+			return validateResult{Valid: true}
+		}
+	default:
+		return nil, errBadRequest("unknown kind %q (want dtd, edtd, or single-type)", req.Kind)
+	}
+
+	return runEngine(ctx, func(ctx context.Context) (any, error) {
+		resp := validateResponse{Kind: req.Kind, Results: make([]validateResult, len(docs))}
+		for i, t := range docs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			resp.Results[i] = check(t)
+		}
+		return resp, nil
+	})
+}
+
+func buildEDTD(types []edtdTypeJSON, start []string) (*edtd.EDTD, *apiError) {
+	if len(types) == 0 {
+		return nil, errBadRequest("types is required for kind=edtd / single-type")
+	}
+	d := edtd.New()
+	for i, t := range types {
+		if t.Name == "" || t.Label == "" {
+			return nil, errBadRequest("types[%d]: name and label are required", i)
+		}
+		e, err := regex.Parse(t.Content)
+		if t.Content == "" {
+			e, err = regex.NewEpsilon(), nil
+		}
+		if err != nil {
+			return nil, errBadRequest("types[%d].content: %v", i, err)
+		}
+		d.AddType(t.Name, t.Label, e)
+	}
+	if len(start) == 0 {
+		return nil, errBadRequest("start is required for kind=edtd / single-type")
+	}
+	for _, s := range start {
+		d.AddStart(s)
+	}
+	return d, nil
+}
+
+// ---- POST /v1/infer ----
+
+type inferRequest struct {
+	// Algorithm: sore (2T-INF + RWR), chare (CRX), kore (fixed k), or
+	// best-kore (smallest k <= K yielding a deterministic expression).
+	Algorithm  string     `json:"algorithm"`
+	K          int        `json:"k,omitempty"`
+	Words      [][]string `json:"words"`
+	DeadlineMS int        `json:"deadline_ms"`
+}
+
+type inferResponse struct {
+	Algorithm     string `json:"algorithm"`
+	Expr          string `json:"expr"`
+	K             int    `json:"k,omitempty"`
+	Deterministic bool   `json:"deterministic"`
+}
+
+func (s *Server) handleInfer(ctx context.Context, body []byte) (any, *apiError) {
+	var req inferRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, errBadRequest("invalid JSON: %v", err)
+	}
+	if len(req.Words) == 0 {
+		return nil, errBadRequest("words is required")
+	}
+	switch req.Algorithm {
+	case "sore", "chare", "kore", "best-kore":
+	default:
+		return nil, errBadRequest("unknown algorithm %q (want sore, chare, kore, or best-kore)", req.Algorithm)
+	}
+	sample := inference.Sample(req.Words)
+	return runEngine(ctx, func(ctx context.Context) (any, error) {
+		var e *regex.Expr
+		k := req.K
+		switch req.Algorithm {
+		case "sore":
+			e = inference.InferSORE(sample)
+		case "chare":
+			e = inference.InferCHARE(sample)
+		case "kore":
+			if k < 1 {
+				k = 2
+			}
+			e = inference.InferKORE(sample, k)
+		case "best-kore":
+			if k < 1 {
+				k = 4
+			}
+			e, k = inference.InferBestKORE(sample, k, func(e *regex.Expr) bool {
+				return automata.Glushkov(e).IsDeterministic()
+			})
+		}
+		return inferResponse{
+			Algorithm:     req.Algorithm,
+			Expr:          e.String(),
+			K:             k,
+			Deterministic: automata.Glushkov(e).IsDeterministic(),
+		}, nil
+	})
+}
+
+// ---- POST /v1/analyze ----
+
+type analyzeRequest struct {
+	Name       string   `json:"name"`
+	Queries    []string `json:"queries"`
+	Workers    int      `json:"workers,omitempty"`
+	DeadlineMS int      `json:"deadline_ms"`
+}
+
+type analyzeResponse struct {
+	Queries   int                `json:"queries"`
+	Workers   int                `json:"workers"`
+	Report    *core.SourceReport `json:"report"`
+	ElapsedMS float64            `json:"elapsed_ms"`
+}
+
+func (s *Server) handleAnalyze(ctx context.Context, body []byte) (any, *apiError) {
+	var req analyzeRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, errBadRequest("invalid JSON: %v", err)
+	}
+	if len(req.Queries) == 0 {
+		return nil, errBadRequest("queries is required")
+	}
+	name := req.Name
+	if name == "" {
+		name = "corpus"
+	}
+	workers := req.Workers
+	if workers <= 0 || workers > s.cfg.AnalyzeWorkers {
+		workers = s.cfg.AnalyzeWorkers
+	}
+	start := time.Now()
+	return runEngine(ctx, func(ctx context.Context) (any, error) {
+		rep := core.AnalyzeQueries(name, req.Queries, workers)
+		return analyzeResponse{
+			Queries:   len(req.Queries),
+			Workers:   workers,
+			Report:    rep,
+			ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		}, nil
+	})
+}

@@ -1,0 +1,152 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// apiError is an error with an HTTP status. Handlers return it instead of
+// writing to the response directly so the middleware stays the single
+// place that renders errors, counts them, and logs them.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func errBadRequest(format string, args ...any) *apiError {
+	return &apiError{http.StatusBadRequest, fmt.Sprintf(format, args...)}
+}
+
+// ctxError maps a context error to the timeout / client-gone statuses.
+func ctxError(err error) *apiError {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return &apiError{http.StatusGatewayTimeout, "deadline exceeded"}
+	}
+	return &apiError{http.StatusGatewayTimeout, "request canceled"}
+}
+
+// handlerFunc is an endpoint body: it gets the deadline-bearing context
+// and the raw (already size-capped) request body, and returns either a
+// JSON-marshalable response or an apiError.
+type handlerFunc func(ctx context.Context, body []byte) (any, *apiError)
+
+// endpoint wraps h in the shared middleware stack: admission control,
+// request-size cap, per-request deadline, response rendering, latency
+// histogram, request counter, and a structured access log line.
+func (s *Server) endpoint(name string, h handlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		code := http.StatusOK
+		defer func() {
+			elapsed := time.Since(start)
+			s.reqTotal.With(name, fmt.Sprintf("%d", code)).Inc()
+			s.latency.With(name).Observe(elapsed.Seconds())
+			s.log.Printf("level=info method=%s path=%s endpoint=%s code=%d dur_ms=%.2f remote=%s",
+				r.Method, r.URL.Path, name, code, float64(elapsed.Microseconds())/1000, r.RemoteAddr)
+		}()
+
+		// Admission control: shed load before reading the body so an
+		// overloaded server spends no work on requests it will not serve.
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			s.rejected.With("overload").Inc()
+			code = http.StatusTooManyRequests
+			writeJSON(w, code, map[string]string{"error": "server overloaded, retry later"})
+			return
+		}
+
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+		if err != nil {
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				s.rejected.With("too_large").Inc()
+				code = http.StatusRequestEntityTooLarge
+				writeJSON(w, code, map[string]string{
+					"error": fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)})
+				return
+			}
+			code = http.StatusBadRequest
+			writeJSON(w, code, map[string]string{"error": "reading body: " + err.Error()})
+			return
+		}
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.deadline(body))
+		defer cancel()
+
+		out, aerr := h(ctx, body)
+		if aerr != nil {
+			code = aerr.status
+			if code == http.StatusGatewayTimeout {
+				s.timeouts.With(name).Inc()
+			}
+			writeJSON(w, code, map[string]string{"error": aerr.msg})
+			return
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+}
+
+// deadline extracts the optional deadline_ms field shared by every POST
+// body, applies the default, and clamps to the configured maximum. A body
+// that fails to parse gets the default; the handler will report the
+// parse error itself.
+func (s *Server) deadline(body []byte) time.Duration {
+	var peek struct {
+		DeadlineMS int `json:"deadline_ms"`
+	}
+	d := s.cfg.DefaultDeadline
+	if json.Unmarshal(body, &peek) == nil && peek.DeadlineMS > 0 {
+		d = time.Duration(peek.DeadlineMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxDeadline {
+		d = s.cfg.MaxDeadline
+	}
+	return d
+}
+
+// runEngine runs f on its own goroutine and waits for either its result
+// or ctx expiry. The decision engines with cancellation checkpoints
+// (regex / k-ORE / DTD containment) return promptly on their own; for
+// engines without checkpoints this still guarantees the HTTP deadline,
+// at the cost of letting the goroutine run to completion in the
+// background; such engines (jsonschema sampling, batch analysis) do work
+// bounded by the request-size cap, so the leak is bounded too.
+func runEngine(ctx context.Context, f func(ctx context.Context) (any, error)) (any, *apiError) {
+	type result struct {
+		v   any
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		v, err := f(ctx)
+		done <- result{v, err}
+	}()
+	select {
+	case <-ctx.Done():
+		return nil, ctxError(ctx.Err())
+	case res := <-done:
+		if res.err != nil {
+			if ctx.Err() != nil {
+				return nil, ctxError(ctx.Err())
+			}
+			return nil, &apiError{http.StatusInternalServerError, res.err.Error()}
+		}
+		return res.v, nil
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the client is gone if this fails; nothing to do
+}

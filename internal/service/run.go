@@ -1,0 +1,39 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Serve runs the server on l until the shutdown channel is closed (or
+// receives), then drains: in-flight requests get up to drainTimeout to
+// finish before the process gives up on them. It returns nil on a clean
+// drain. cmd/rwdserve wires shutdown to SIGTERM/SIGINT; tests drive it
+// directly.
+func (s *Server) Serve(l net.Listener, shutdown <-chan struct{}, drainTimeout time.Duration) error {
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-shutdown:
+		s.log.Printf("level=info msg=\"shutdown requested, draining in-flight requests\" timeout=%s", drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		err := hs.Shutdown(ctx)
+		if err == nil {
+			s.log.Printf("level=info msg=\"drain complete\"")
+		}
+		return err
+	}
+}

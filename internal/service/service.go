@@ -1,0 +1,166 @@
+// Package service is the production HTTP layer over the repository's
+// decision procedures and analysis pipeline. Every capability that was
+// previously CLI-only — regex/k-ORE/DTD/JSON-Schema containment
+// (Theorems 4.4–4.6), membership, DTD/EDTD validation, schema inference
+// (Section 4.2.3), and the SHARQL-style SPARQL log analysis — is exposed
+// as a JSON endpoint behind a shared middleware stack.
+//
+// The decision problems served here are PSPACE-hard (containment) or
+// worse, so the server treats every request as potentially adversarial:
+//
+//   - deadlines: each request runs under a context deadline (default /
+//     maximum configurable); the containment engines carry cooperative
+//     cancellation checkpoints (automata.ContainsCtx et al.) so a
+//     timed-out instance stops burning CPU instead of merely abandoning
+//     the response;
+//   - admission control: a bounded semaphore sheds load with 429 before
+//     work starts;
+//   - request-size caps: bodies beyond MaxBodyBytes are rejected with 413;
+//   - verdict cache: containment verdicts are cached under canonical
+//     renderings of the parsed inputs, so syntactically different but
+//     identical requests hit;
+//   - observability: per-endpoint latency histograms, request/timeout/
+//     rejection counters, in-flight and cache gauges on GET /metrics in
+//     Prometheus text format, plus structured access logs.
+package service
+
+import (
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/metrics"
+)
+
+// Config parameterizes the server. The zero value is usable: every field
+// falls back to the documented default.
+type Config struct {
+	// MaxInFlight is the admission-control bound on concurrently served
+	// requests (the "worker limit"); <= 0 means 2 × GOMAXPROCS.
+	MaxInFlight int
+	// MaxBodyBytes caps request bodies; <= 0 means 8 MiB.
+	MaxBodyBytes int64
+	// DefaultDeadline applies when a request carries no deadline_ms;
+	// <= 0 means 2s.
+	DefaultDeadline time.Duration
+	// MaxDeadline clamps client-requested deadlines; <= 0 means 30s.
+	MaxDeadline time.Duration
+	// CacheSize is the verdict-cache capacity in entries; < 0 disables
+	// the cache, 0 means 1024.
+	CacheSize int
+	// AnalyzeWorkers bounds the worker pool of /v1/analyze;
+	// <= 0 means GOMAXPROCS.
+	AnalyzeWorkers int
+	// Logger receives structured access and error logs; nil means stderr.
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 2 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 30 * time.Second
+	}
+	switch {
+	case c.CacheSize == 0:
+		c.CacheSize = 1024
+	case c.CacheSize < 0:
+		c.CacheSize = 0
+	}
+	if c.AnalyzeWorkers <= 0 {
+		c.AnalyzeWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.Logger == nil {
+		c.Logger = log.New(os.Stderr, "rwdserve ", log.LstdFlags|log.Lmicroseconds)
+	}
+	return c
+}
+
+// Server is the HTTP service. Construct with New; Handler returns the
+// routed middleware stack.
+type Server struct {
+	cfg   Config
+	log   *log.Logger
+	mux   *http.ServeMux
+	reg   *metrics.Registry
+	cache *cache.Cache
+	sem   chan struct{}
+
+	reqTotal *metrics.CounterVec   // endpoint, code
+	latency  *metrics.HistogramVec // endpoint
+	rejected *metrics.CounterVec   // reason
+	timeouts *metrics.CounterVec   // endpoint
+}
+
+// New constructs a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		log:   cfg.Logger,
+		mux:   http.NewServeMux(),
+		reg:   metrics.NewRegistry(),
+		cache: cache.New(cfg.CacheSize),
+		sem:   make(chan struct{}, cfg.MaxInFlight),
+	}
+	s.reqTotal = s.reg.CounterVec("rwdserve_requests_total",
+		"Requests served, by endpoint and HTTP status code.", "endpoint", "code")
+	s.latency = s.reg.HistogramVec("rwdserve_request_seconds",
+		"Request latency in seconds, by endpoint.", metrics.DefBuckets, "endpoint")
+	s.rejected = s.reg.CounterVec("rwdserve_rejected_total",
+		"Requests rejected before reaching an engine, by reason.", "reason")
+	s.timeouts = s.reg.CounterVec("rwdserve_timeouts_total",
+		"Requests that exceeded their deadline, by endpoint.", "endpoint")
+	s.reg.GaugeFunc("rwdserve_inflight",
+		"Requests currently admitted past the admission gate.",
+		func() float64 { return float64(len(s.sem)) })
+	s.reg.GaugeFunc("rwdserve_cache_hits_total",
+		"Verdict-cache hits.", func() float64 { return float64(s.cache.Stats().Hits) })
+	s.reg.GaugeFunc("rwdserve_cache_misses_total",
+		"Verdict-cache misses.", func() float64 { return float64(s.cache.Stats().Misses) })
+	s.reg.GaugeFunc("rwdserve_cache_evictions_total",
+		"Verdict-cache evictions.", func() float64 { return float64(s.cache.Stats().Evictions) })
+	s.reg.GaugeFunc("rwdserve_cache_entries",
+		"Verdict-cache occupancy.", func() float64 { return float64(s.cache.Stats().Len) })
+
+	s.mux.Handle("POST /v1/containment", s.endpoint("containment", s.handleContainment))
+	s.mux.Handle("POST /v1/membership", s.endpoint("membership", s.handleMembership))
+	s.mux.Handle("POST /v1/validate", s.endpoint("validate", s.handleValidate))
+	s.mux.Handle("POST /v1/infer", s.endpoint("infer", s.handleInfer))
+	s.mux.Handle("POST /v1/analyze", s.endpoint("analyze", s.handleAnalyze))
+	// healthz and metrics bypass admission control: they must answer even
+	// (especially) when the server is saturated.
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the fully routed handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the metrics registry (for tests and embedders).
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// CacheStats exposes the verdict-cache counters (for tests and embedders).
+func (s *Server) CacheStats() cache.Stats { return s.cache.Stats() }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WriteText(w); err != nil {
+		s.log.Printf("level=error endpoint=metrics err=%q", err)
+	}
+}

@@ -1,0 +1,374 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = log.New(io.Discard, "", 0)
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// post sends body to path and decodes the JSON response into out (if
+// non-nil), returning the status code.
+func post(t *testing.T, base, path, body string, out any) int {
+	t.Helper()
+	resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("decoding %q: %v", raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// adversarialContainment is a containment request whose right side needs
+// a 2^26 subset construction — unfinishable within any test deadline.
+func adversarialContainment(deadlineMS int) string {
+	right := "(a|b)* a" + strings.Repeat(" (a|b)", 26)
+	b, _ := json.Marshal(map[string]any{
+		"engine": "regex", "left": "(a|b)*", "right": right, "deadline_ms": deadlineMS,
+	})
+	return string(b)
+}
+
+func TestContainmentRegex(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var resp containmentResponse
+	code := post(t, ts.URL, "/v1/containment",
+		`{"engine":"regex","left":"a b","right":"a (b|c)"}`, &resp)
+	if code != 200 || !resp.Contained || resp.Verdict != "contained" {
+		t.Fatalf("code=%d resp=%+v", code, resp)
+	}
+	code = post(t, ts.URL, "/v1/containment",
+		`{"engine":"regex","left":"a (b|c)","right":"a b"}`, &resp)
+	if code != 200 || resp.Contained || resp.Verdict != "not_contained" {
+		t.Fatalf("code=%d resp=%+v", code, resp)
+	}
+}
+
+func TestContainmentKore(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var resp containmentResponse
+	code := post(t, ts.URL, "/v1/containment",
+		`{"engine":"kore","left":"a a","right":"a* a*"}`, &resp)
+	if code != 200 || !resp.Contained {
+		t.Fatalf("code=%d resp=%+v", code, resp)
+	}
+}
+
+func TestContainmentDTD(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	left := `<!ELEMENT r (a)> <!ELEMENT a EMPTY>`
+	right := `<!ELEMENT r (a|b)> <!ELEMENT a EMPTY> <!ELEMENT b EMPTY>`
+	body, _ := json.Marshal(map[string]string{"engine": "dtd", "left": left, "right": right})
+	var resp containmentResponse
+	code := post(t, ts.URL, "/v1/containment", string(body), &resp)
+	if code != 200 || !resp.Contained {
+		t.Fatalf("code=%d resp=%+v", code, resp)
+	}
+	// and the converse fails
+	body, _ = json.Marshal(map[string]string{"engine": "dtd", "left": right, "right": left})
+	code = post(t, ts.URL, "/v1/containment", string(body), &resp)
+	if code != 200 || resp.Contained {
+		t.Fatalf("code=%d resp=%+v", code, resp)
+	}
+}
+
+func TestContainmentJSONSchema(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	left := `{"type":"integer","minimum":5}`
+	right := `{"type":"integer"}`
+	body, _ := json.Marshal(map[string]string{"engine": "jsonschema", "left": left, "right": right})
+	var resp containmentResponse
+	code := post(t, ts.URL, "/v1/containment", string(body), &resp)
+	if code != 200 {
+		t.Fatalf("code=%d resp=%+v", code, resp)
+	}
+	if resp.Verdict == "not_contained" {
+		t.Fatalf("integer/minimum:5 ⊆ integer must not be refuted: %+v", resp)
+	}
+}
+
+func TestContainmentBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var e map[string]string
+	if code := post(t, ts.URL, "/v1/containment", `{"engine":"nope","left":"a","right":"a"}`, &e); code != 400 {
+		t.Fatalf("unknown engine: code=%d", code)
+	}
+	if code := post(t, ts.URL, "/v1/containment", `{"engine":"regex","left":"((","right":"a"}`, &e); code != 400 {
+		t.Fatalf("parse error: code=%d", code)
+	}
+	if code := post(t, ts.URL, "/v1/containment", `not json`, &e); code != 400 {
+		t.Fatalf("invalid JSON: code=%d", code)
+	}
+}
+
+func TestContainmentCacheCanonicalization(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	var first, second containmentResponse
+	post(t, ts.URL, "/v1/containment", `{"engine":"regex","left":"a|b","right":"(a|b)*"}`, &first)
+	// syntactically different, identical after canonicalization
+	post(t, ts.URL, "/v1/containment", `{"engine":"regex","left":"( a | b )","right":"( ( a | b ) )*"}`, &second)
+	if first.Cached {
+		t.Fatalf("first request must be a miss: %+v", first)
+	}
+	if !second.Cached {
+		t.Fatalf("canonically identical request must hit the cache: %+v", second)
+	}
+	st := s.CacheStats()
+	if st.Hits != 1 {
+		t.Fatalf("cache hits = %d, want 1", st.Hits)
+	}
+}
+
+func TestMembership(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var resp membershipResponse
+	code := post(t, ts.URL, "/v1/membership",
+		`{"expr":"b* a (b* a)*","word":["b","a","b","a"]}`, &resp)
+	if code != 200 || !resp.Member || !resp.Deterministic {
+		t.Fatalf("code=%d resp=%+v", code, resp)
+	}
+	code = post(t, ts.URL, "/v1/membership", `{"expr":"a b","word":["b"]}`, &resp)
+	if code != 200 || resp.Member {
+		t.Fatalf("code=%d resp=%+v", code, resp)
+	}
+}
+
+func TestValidateDTD(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body, _ := json.Marshal(map[string]any{
+		"kind":   "dtd",
+		"schema": `<!ELEMENT r (a, b*)> <!ELEMENT a EMPTY> <!ELEMENT b EMPTY>`,
+		"docs":   []string{"r(a, b, b)", "r(b)", "x(a)"},
+	})
+	var resp validateResponse
+	if code := post(t, ts.URL, "/v1/validate", string(body), &resp); code != 200 {
+		t.Fatalf("code=%d", code)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("results = %+v", resp.Results)
+	}
+	if !resp.Results[0].Valid || resp.Results[1].Valid || resp.Results[2].Valid {
+		t.Fatalf("validity = %+v", resp.Results)
+	}
+	if resp.Results[2].Error == "" {
+		t.Fatal("invalid doc must carry an error message")
+	}
+}
+
+func TestValidateEDTDAndSingleType(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// two types for label a distinguished by context: classic EDTD
+	types := []map[string]string{
+		{"name": "r", "label": "r", "content": "t1 t2"},
+		{"name": "t1", "label": "a", "content": "b"},
+		{"name": "t2", "label": "a", "content": ""},
+		{"name": "b", "label": "b", "content": ""},
+	}
+	body, _ := json.Marshal(map[string]any{
+		"kind": "edtd", "types": types, "start": []string{"r"},
+		"docs": []string{"r(a(b), a)", "r(a, a(b))"},
+	})
+	var resp validateResponse
+	if code := post(t, ts.URL, "/v1/validate", string(body), &resp); code != 200 {
+		t.Fatalf("code=%d", code)
+	}
+	if !resp.Results[0].Valid || resp.Results[1].Valid {
+		t.Fatalf("results = %+v", resp.Results)
+	}
+	// the same EDTD is not single-type (t1, t2 share label a in one rule)
+	body, _ = json.Marshal(map[string]any{
+		"kind": "single-type", "types": types, "start": []string{"r"},
+		"docs": []string{"r(a(b), a)"},
+	})
+	var e map[string]string
+	if code := post(t, ts.URL, "/v1/validate", string(body), &e); code != 400 {
+		t.Fatalf("non-single-type EDTD must be rejected, code=%d", code)
+	}
+	if !strings.Contains(e["error"], "single-type") {
+		t.Fatalf("error = %q", e["error"])
+	}
+}
+
+func TestInfer(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, alg := range []string{"sore", "chare", "kore", "best-kore"} {
+		body, _ := json.Marshal(map[string]any{
+			"algorithm": alg,
+			"words":     [][]string{{"a", "b"}, {"a", "b", "b"}, {"a"}},
+		})
+		var resp inferResponse
+		if code := post(t, ts.URL, "/v1/infer", string(body), &resp); code != 200 {
+			t.Fatalf("%s: code=%d", alg, code)
+		}
+		if resp.Expr == "" {
+			t.Fatalf("%s: empty expression", alg)
+		}
+		// learning from positive data: the sample must be in the language
+		var member membershipResponse
+		mb, _ := json.Marshal(map[string]any{"expr": resp.Expr, "word": []string{"a", "b"}})
+		post(t, ts.URL, "/v1/membership", string(mb), &member)
+		if !member.Member {
+			t.Fatalf("%s: inferred %q rejects sample word a b", alg, resp.Expr)
+		}
+	}
+	var e map[string]string
+	if code := post(t, ts.URL, "/v1/infer", `{"algorithm":"magic","words":[["a"]]}`, &e); code != 400 {
+		t.Fatalf("unknown algorithm: code=%d", code)
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body, _ := json.Marshal(map[string]any{
+		"name": "test",
+		"queries": []string{
+			"SELECT ?x WHERE { ?x ?p ?y }",
+			"SELECT ?x WHERE { ?x ?p ?y }",
+			"ASK { ?a ?b ?c . ?c ?d ?e }",
+			"this is not sparql",
+		},
+	})
+	var resp analyzeResponse
+	if code := post(t, ts.URL, "/v1/analyze", string(body), &resp); code != 200 {
+		t.Fatalf("code=%d", code)
+	}
+	if resp.Report == nil || resp.Report.Total != 4 {
+		t.Fatalf("report = %+v", resp.Report)
+	}
+	if resp.Report.Valid != 3 || resp.Report.Unique != 2 {
+		t.Fatalf("valid/unique = %d/%d, want 3/2", resp.Report.Valid, resp.Report.Unique)
+	}
+}
+
+func TestDeadlineReturns504(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	start := time.Now()
+	var e map[string]string
+	code := post(t, ts.URL, "/v1/containment", adversarialContainment(100), &e)
+	elapsed := time.Since(start)
+	if code != 504 {
+		t.Fatalf("code=%d, want 504 (%v)", code, e)
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("took %v, want < 500ms for a 100ms deadline", elapsed)
+	}
+}
+
+func TestDeadlineClampedToMax(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxDeadline: 100 * time.Millisecond})
+	start := time.Now()
+	var e map[string]string
+	// request asks for 60s but the server clamps to 100ms
+	code := post(t, ts.URL, "/v1/containment", adversarialContainment(60000), &e)
+	if code != 504 {
+		t.Fatalf("code=%d, want 504", code)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatalf("clamp did not apply, took %v", time.Since(start))
+	}
+}
+
+func TestAdmissionControl429(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxInFlight: 1})
+	slow := make(chan int, 1)
+	go func() {
+		slow <- post(t, ts.URL, "/v1/containment", adversarialContainment(2000), nil)
+	}()
+	// wait until the slow request holds the only slot
+	time.Sleep(100 * time.Millisecond)
+	var e map[string]string
+	code := post(t, ts.URL, "/v1/membership", `{"expr":"a","word":["a"]}`, &e)
+	if code != 429 {
+		t.Fatalf("code=%d, want 429", code)
+	}
+	// healthz and metrics bypass admission control
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz during overload: %v %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+	if got := <-slow; got != 504 {
+		t.Fatalf("slow request code=%d, want 504", got)
+	}
+}
+
+func TestBodyCap413(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 1024})
+	big := `{"engine":"regex","left":"` + strings.Repeat("a ", 2000) + `","right":"a*"}`
+	var e map[string]string
+	if code := post(t, ts.URL, "/v1/containment", big, &e); code != 413 {
+		t.Fatalf("code=%d, want 413", code)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/containment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET on POST endpoint: code=%d", resp.StatusCode)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 || !bytes.Contains(raw, []byte(`"ok"`)) {
+		t.Fatalf("code=%d body=%s", resp.StatusCode, raw)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	post(t, ts.URL, "/v1/membership", `{"expr":"a","word":["a"]}`, nil)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	text := string(raw)
+	for _, want := range []string{
+		`rwdserve_requests_total{endpoint="membership",code="200"} 1`,
+		"# TYPE rwdserve_request_seconds histogram",
+		"rwdserve_inflight",
+		"rwdserve_cache_entries",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}

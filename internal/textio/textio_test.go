@@ -1,0 +1,64 @@
+package textio
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestReadLinesBasic(t *testing.T) {
+	lines, err := ReadLines(strings.NewReader("a\n\nbb\nccc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "bb", "ccc"}
+	if len(lines) != len(want) {
+		t.Fatalf("got %v, want %v", lines, want)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("got %v, want %v", lines, want)
+		}
+	}
+}
+
+func TestReadLinesEmpty(t *testing.T) {
+	lines, err := ReadLines(strings.NewReader(""))
+	if err != nil || len(lines) != 0 {
+		t.Fatalf("got %v, %v", lines, err)
+	}
+}
+
+func TestReadLinesTooLongReportsLineNumber(t *testing.T) {
+	in := "short\nok\n" + strings.Repeat("x", 2000) + "\nafter\n"
+	lines, err := ReadLinesLimit(strings.NewReader(in), 1000)
+	var tooLong *LineTooLongError
+	if !errors.As(err, &tooLong) {
+		t.Fatalf("want LineTooLongError, got %v", err)
+	}
+	if tooLong.Line != 3 {
+		t.Fatalf("line = %d, want 3", tooLong.Line)
+	}
+	if tooLong.Limit != 1000 {
+		t.Fatalf("limit = %d, want 1000", tooLong.Limit)
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error message %q lacks line number", err)
+	}
+	// lines before the failure are preserved
+	if len(lines) != 2 || lines[0] != "short" || lines[1] != "ok" {
+		t.Fatalf("prefix lines = %v", lines)
+	}
+}
+
+func TestReadLinesLargeLineWithinDefault(t *testing.T) {
+	// a 2 MiB line exceeds the old hard-coded 1 MiB cap but must pass now
+	big := strings.Repeat("y", 2<<20)
+	lines, err := ReadLines(strings.NewReader(big + "\nz\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 2 || len(lines[0]) != 2<<20 || lines[1] != "z" {
+		t.Fatalf("got %d lines, first len %d", len(lines), len(lines[0]))
+	}
+}
