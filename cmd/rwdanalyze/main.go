@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -18,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/jsonschema"
+	"repro/internal/obs"
 	"repro/internal/schemastudy"
 	"repro/internal/textio"
 	"repro/internal/xmllite"
@@ -33,6 +35,7 @@ func main() {
 	file := flag.String("file", "-", "input file; '-' reads stdin")
 	name := flag.String("name", "corpus", "corpus name for the reports")
 	workers := flag.Int("workers", 0, "analysis workers for -kind sparql; 0 = one per CPU, 1 = sequential")
+	trace := flag.String("trace", "", "dump the pipeline span tree after the run: '-' writes stderr, anything else is a file path; empty disables")
 	flag.Parse()
 
 	// Validate the kind before touching the input: feeding a huge log to
@@ -58,9 +61,21 @@ func main() {
 		os.Exit(1)
 	}
 
+	// With -trace the whole analysis runs under a root span; the sparql
+	// pipeline is instrumented down to per-shard ingest spans.
+	ctx := context.Background()
+	var root *obs.Span
+	if *trace != "" {
+		ctx, root = (&obs.Tracer{}).StartRoot(ctx, "rwdanalyze")
+		defer func() {
+			root.Finish()
+			dumpTrace(*trace, root.Tree())
+		}()
+	}
+
 	switch *kind {
 	case "sparql":
-		rep := core.AnalyzeQueries(*name, lines, *workers)
+		rep := core.AnalyzeQueriesCtx(ctx, *name, lines, *workers)
 		if err := core.RenderAll(os.Stdout, []*core.SourceReport{rep}); err != nil {
 			fmt.Fprintln(os.Stderr, "render:", err)
 			os.Exit(1)
@@ -89,5 +104,22 @@ func main() {
 		fmt.Printf("queries: %d (parse errors %d); median size %d; tree patterns %d (%.1f%%)\n",
 			res.Total, res.ParseErrors, res.SizeQuantile(0.5), res.TreePatterns,
 			100*float64(res.TreePatterns)/float64(max(res.Total, 1)))
+	}
+}
+
+// dumpTrace renders the span tree to stderr ("-") or the given file.
+func dumpTrace(dest string, n *obs.Node) {
+	w := io.Writer(os.Stderr)
+	if dest != "-" {
+		f, err := os.Create(dest)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			return
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := obs.WriteTree(w, n); err != nil {
+		fmt.Fprintln(os.Stderr, "trace:", err)
 	}
 }

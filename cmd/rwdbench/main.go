@@ -14,14 +14,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"runtime"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/edtd"
 	"repro/internal/jsonschema"
 	"repro/internal/rdf"
@@ -36,6 +39,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	graphScale := flag.Float64("graphscale", 0.2, "graph size factor for Table 1")
 	workers := flag.Int("workers", 0, "analysis workers for the log pipeline; 0 = one per CPU, 1 = sequential")
+	trace := flag.String("trace", "", "dump the log-pipeline span tree after the run: '-' writes stderr, anything else is a file path; empty disables")
 	flag.Parse()
 
 	needLogs := map[string]bool{
@@ -45,17 +49,26 @@ func main() {
 	}
 	var reports []*core.SourceReport
 	if needLogs[*experiment] {
+		ctx := context.Background()
+		var root *obs.Span
+		if *trace != "" {
+			ctx, root = (&obs.Tracer{}).StartRoot(ctx, "rwdbench.logstudy")
+		}
 		cfg := core.Config{Workers: *workers, ScaleDiv: *scale, Seed: *seed}
 		if *workers == 1 {
 			fmt.Fprintf(os.Stderr, "generating and analyzing log corpus at scale 1:%d (sequential) …\n", *scale)
-			reports = core.RunLogStudySequential(cfg)
+			reports = core.RunLogStudySequentialCtx(ctx, cfg)
 		} else {
 			n := *workers
 			if n <= 0 {
 				n = runtime.GOMAXPROCS(0)
 			}
 			fmt.Fprintf(os.Stderr, "generating and analyzing log corpus at scale 1:%d (%d workers) …\n", *scale, n)
-			reports = core.RunLogStudyParallel(cfg)
+			reports = core.RunLogStudyParallelCtx(ctx, cfg)
+		}
+		if root != nil {
+			root.Finish()
+			dumpTrace(*trace, root.Tree())
 		}
 	}
 	dbp, wiki := core.GroupReports(reports)
@@ -183,4 +196,21 @@ func pctOf(n, total int) float64 {
 		return 0
 	}
 	return 100 * float64(n) / float64(total)
+}
+
+// dumpTrace renders the span tree to stderr ("-") or the given file.
+func dumpTrace(dest string, n *obs.Node) {
+	w := io.Writer(os.Stderr)
+	if dest != "-" {
+		f, err := os.Create(dest)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			return
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := obs.WriteTree(w, n); err != nil {
+		fmt.Fprintln(os.Stderr, "trace:", err)
+	}
 }

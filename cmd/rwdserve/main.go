@@ -17,12 +17,18 @@
 // SIGTERM or SIGINT starts a graceful drain: the listener closes, in-
 // flight requests finish (bounded by -drain-timeout), then the process
 // exits 0.
+//
+// -debug-addr starts a second, private HTTP server exposing
+// net/http/pprof (heap, CPU, goroutine profiles). It is off by default
+// and should never be bound to a public interface.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -45,6 +51,12 @@ func main() {
 	analyzeWorkers := flag.Int("analyze-workers", 0, "worker pool bound for /v1/analyze; 0 = one per CPU")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second,
 		"how long a graceful shutdown waits for in-flight requests")
+	slowOpThreshold := flag.Duration("slow-op-threshold", 500*time.Millisecond,
+		"span duration above which a structured slow-op line is logged")
+	slowOpSample := flag.Int64("slow-op-sample", 1,
+		"log 1 of every N slow spans (the rest are only counted)")
+	debugAddr := flag.String("debug-addr", "",
+		"optional private address for the pprof debug server (e.g. localhost:6060); empty disables")
 	flag.Parse()
 
 	srv := service.New(service.Config{
@@ -54,7 +66,21 @@ func main() {
 		MaxDeadline:     *maxDeadline,
 		CacheSize:       *cacheSize,
 		AnalyzeWorkers:  *analyzeWorkers,
+		SlowOpThreshold: *slowOpThreshold,
+		SlowOpSample:    *slowOpSample,
 	})
+
+	if *debugAddr != "" {
+		// net/http/pprof registers its handlers on the default mux; keep
+		// them off the service handler so profiles are never reachable on
+		// the public address.
+		go func() {
+			fmt.Fprintf(os.Stderr, "rwdserve debug server (pprof) on %s\n", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "rwdserve: debug server:", err)
+			}
+		}()
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

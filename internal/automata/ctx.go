@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/regex"
 )
 
@@ -26,10 +27,17 @@ import (
 // stays negligible.
 const checkEvery = 256
 
-// canceler amortizes ctx.Err() checks over checkEvery iterations.
+// canceler amortizes ctx.Err() checks over checkEvery iterations and
+// accounts each check to the enclosing span's "checkpoints" counter
+// (nil and free when tracing is disabled).
 type canceler struct {
-	ctx  context.Context
-	tick int
+	ctx    context.Context
+	tick   int
+	checks *obs.Counter
+}
+
+func newCanceler(ctx context.Context, span *obs.Span) *canceler {
+	return &canceler{ctx: ctx, checks: span.Counter("checkpoints")}
 }
 
 func (c *canceler) checkpoint() error {
@@ -38,13 +46,21 @@ func (c *canceler) checkpoint() error {
 		return nil
 	}
 	c.tick = 0
+	c.checks.Inc()
 	return c.ctx.Err()
 }
 
 // DeterminizeCtx is Determinize with cooperative cancellation: the
 // subset construction — the exponential step of every containment and
-// equivalence check — aborts with ctx.Err() once ctx is done.
+// equivalence check — aborts with ctx.Err() once ctx is done. Under a
+// traced context it records an "automata.determinize" span whose
+// states_expanded counter is the number of subset states it
+// materialized — the quantity the 2ⁿ blow-up bound of Section 4.2.1
+// is about.
 func DeterminizeCtx(ctx context.Context, n *NFA) (*DFA, error) {
+	ctx, span := obs.StartSpan(ctx, "automata.determinize")
+	defer span.Finish()
+	expanded := span.Counter("states_expanded")
 	key := func(set []int) string {
 		var b strings.Builder
 		for i, q := range set {
@@ -61,11 +77,12 @@ func DeterminizeCtx(ctx context.Context, n *NFA) (*DFA, error) {
 	sets := [][]int{init}
 	d := NewDFA(1)
 	d.Alphabet = append([]string(nil), n.Alphabet...)
-	cc := &canceler{ctx: ctx}
+	cc := newCanceler(ctx, span)
 	for i := 0; i < len(sets); i++ {
 		if err := cc.checkpoint(); err != nil {
 			return nil, err
 		}
+		expanded.Inc()
 		set := sets[i]
 		for _, q := range set {
 			if n.Final[q] {
@@ -128,6 +145,8 @@ func NFAContainsCtx(ctx context.Context, n1 *NFA, e2 *regex.Expr) (bool, error) 
 }
 
 func nfaContainsCtx(ctx context.Context, n1 *NFA, e2 *regex.Expr) (bool, error) {
+	ctx, span := obs.StartSpan(ctx, "automata.contains")
+	defer span.Finish()
 	alpha := unionAlpha(n1.Alphabet, e2.Alphabet())
 	det, err := DeterminizeCtx(ctx, Glushkov(e2))
 	if err != nil {
@@ -142,11 +161,13 @@ func nfaContainsCtx(ctx context.Context, n1 *NFA, e2 *regex.Expr) (bool, error) 
 		seen[p] = true
 		stack = append(stack, p)
 	}
-	cc := &canceler{ctx: ctx}
+	productStates := span.Counter("product_states")
+	cc := newCanceler(ctx, span)
 	for len(stack) > 0 {
 		if err := cc.checkpoint(); err != nil {
 			return false, err
 		}
+		productStates.Inc()
 		p := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if n1.Final[p.q] && comp.Final[p.s] {
@@ -184,6 +205,9 @@ func IntersectionWitnessCtx(ctx context.Context, es ...*regex.Expr) ([]string, b
 	if len(es) == 0 {
 		return []string{}, true, nil
 	}
+	ctx, span := obs.StartSpan(ctx, "automata.intersection")
+	defer span.Finish()
+	tuples := span.Counter("tuples_expanded")
 	nfas := make([]*NFA, len(es))
 	for i, e := range es {
 		nfas[i] = Glushkov(e)
@@ -239,10 +263,11 @@ func IntersectionWitnessCtx(ctx context.Context, es ...*regex.Expr) ([]string, b
 	for _, n := range nfas[1:] {
 		labels = intersectSorted(labels, n.Alphabet)
 	}
-	cc := &canceler{ctx: ctx}
+	cc := newCanceler(ctx, span)
 	for len(queue) > 0 {
 		it := queue[0]
 		queue = queue[1:]
+		tuples.Inc()
 		for _, a := range labels {
 			if err := cc.checkpoint(); err != nil {
 				return nil, false, err

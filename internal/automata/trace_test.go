@@ -1,0 +1,72 @@
+package automata
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/regex"
+)
+
+// TestContainsCtxRecordsSpans drives a containment check under a traced
+// context and checks that the span tree carries the cost counters the
+// explain mode and the slow-op log rely on.
+func TestContainsCtxRecordsSpans(t *testing.T) {
+	tr := &obs.Tracer{}
+	ctx, root := tr.StartRoot(context.Background(), "test")
+	e1, e2 := regex.MustParse("b* a (b* a)*"), adversarialRight(6)
+	if _, err := ContainsCtx(ctx, e1, e2); err != nil {
+		t.Fatal(err)
+	}
+	root.Finish()
+	tree := root.Tree()
+	if len(tree.Children) != 1 || tree.Children[0].Name != "automata.contains" {
+		t.Fatalf("children = %+v, want one automata.contains span", tree.Children)
+	}
+	contains := tree.Children[0]
+	if contains.Counters["product_states"] == 0 {
+		t.Fatalf("product_states = 0, want > 0: %+v", contains)
+	}
+	if len(contains.Children) != 1 || contains.Children[0].Name != "automata.determinize" {
+		t.Fatalf("contains children = %+v, want one determinize span", contains.Children)
+	}
+	det := contains.Children[0]
+	// The subset construction for (a|b)* a (a|b)^6 materializes 2^6 = 64
+	// reachable subset states (plus the initial one); every one of them
+	// must have been accounted.
+	if det.Counters["states_expanded"] < 64 {
+		t.Fatalf("states_expanded = %d, want >= 64", det.Counters["states_expanded"])
+	}
+}
+
+// TestContainsUntracedStillWorks pins the disabled path: no tracer in
+// the context means no spans, and the verdict is unchanged.
+func TestContainsUntracedStillWorks(t *testing.T) {
+	e1, e2 := regex.MustParse("a b"), regex.MustParse("a (b|c)")
+	ok, err := ContainsCtx(context.Background(), e1, e2)
+	if err != nil || !ok {
+		t.Fatalf("ContainsCtx = %v, %v", ok, err)
+	}
+	if obs.FromContext(context.Background()) != nil {
+		t.Fatal("background context must carry no span")
+	}
+}
+
+// TestIntersectionWitnessCtxRecordsSpan checks the intersection BFS
+// accounts its tuple expansions.
+func TestIntersectionWitnessCtxRecordsSpan(t *testing.T) {
+	tr := &obs.Tracer{}
+	ctx, root := tr.StartRoot(context.Background(), "test")
+	es := []*regex.Expr{regex.MustParse("(a|b)* a"), regex.MustParse("a (a|b)*")}
+	if _, ok, err := IntersectionWitnessCtx(ctx, es...); err != nil || !ok {
+		t.Fatalf("intersection = %v, %v", ok, err)
+	}
+	root.Finish()
+	tree := root.Tree()
+	if len(tree.Children) != 1 || tree.Children[0].Name != "automata.intersection" {
+		t.Fatalf("children = %+v", tree.Children)
+	}
+	if tree.Children[0].Counters["tuples_expanded"] == 0 {
+		t.Fatal("tuples_expanded = 0, want > 0")
+	}
+}

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // forEachCounter pairs every Counter2 of dst with the corresponding
@@ -162,14 +165,21 @@ func ShardSplit(queries []string, n int) [][]string {
 // battery, sharded over the given number of workers (<= 0 means one per
 // CPU; 1 runs sequentially). The result is identical at any worker count.
 func AnalyzeQueries(name string, queries []string, workers int) *SourceReport {
+	return AnalyzeQueriesCtx(context.Background(), name, queries, workers)
+}
+
+// AnalyzeQueriesCtx is AnalyzeQueries under a (possibly traced)
+// context: per-shard "core.shard" spans account the ingest volume and
+// a "core.merge" span covers the recombination — the breakdown the
+// service's /v1/analyze explain mode returns. The report is identical
+// to the untraced run at any worker count.
+func AnalyzeQueriesCtx(ctx context.Context, name string, queries []string, workers int) *SourceReport {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 {
 		a := NewAnalyzer(name)
-		for _, q := range queries {
-			a.Ingest(q)
-		}
+		ingestShard(ctx, a, 0, queries)
 		return a.Report
 	}
 	parts := ShardSplit(queries, workers)
@@ -180,12 +190,14 @@ func AnalyzeQueries(name string, queries []string, workers int) *SourceReport {
 		go func(k int, part []string) {
 			defer wg.Done()
 			a := NewAnalyzer(name)
-			for _, q := range part {
-				a.Ingest(q)
-			}
+			ingestShard(ctx, a, k, part)
 			shards[k] = a
 		}(k, part)
 	}
 	wg.Wait()
-	return MergeShards(name, shards)
+	_, mergeSpan := obs.StartSpan(ctx, "core.merge")
+	mergeSpan.Count("shards", int64(len(shards)))
+	rep := MergeShards(name, shards)
+	mergeSpan.Finish()
+	return rep
 }

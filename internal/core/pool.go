@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
+	"strconv"
 	"sync"
 
 	"repro/internal/loggen"
+	"repro/internal/obs"
 )
 
 // RunLogStudyParallel runs the log study on a bounded worker pool: sources
@@ -14,6 +17,16 @@ import (
 // corpus — and, after merging, every report — is byte-identical to
 // RunLogStudySequential at the same Config, for any worker count.
 func RunLogStudyParallel(cfg Config) []*SourceReport {
+	return RunLogStudyParallelCtx(context.Background(), cfg)
+}
+
+// RunLogStudyParallelCtx is RunLogStudyParallel under a (possibly
+// traced) context. Each source gets a "core.source" span with
+// "core.generate", per-shard "core.shard", and "core.merge" children,
+// so a -trace run shows exactly where a slow study spent its time and
+// how the work was distributed across shards. Reports are byte-
+// identical to the untraced run at any worker count.
+func RunLogStudyParallelCtx(ctx context.Context, cfg Config) []*SourceReport {
 	cfg = cfg.normalized()
 	sources := loggen.Sources()
 	reports := make([]*SourceReport, len(sources))
@@ -25,10 +38,16 @@ func RunLogStudyParallel(cfg Config) []*SourceReport {
 		wg.Add(1)
 		go func(i int, s loggen.Source) {
 			defer wg.Done()
+			srcCtx, span := obs.StartSpan(ctx, "core.source")
+			span.SetAttr("source", s.Name)
+			defer span.Finish()
 			slots <- struct{}{}
+			_, genSpan := obs.StartSpan(srcCtx, "core.generate")
 			stream := cfg.SourceStream(i)
+			genSpan.Count("queries_generated", int64(len(stream)))
+			genSpan.Finish()
 			<-slots
-			reports[i] = analyzeSourceShards(s, stream, cfg.Workers, slots)
+			reports[i] = analyzeSourceShards(srcCtx, s, stream, cfg.Workers, slots)
 		}(i, s)
 	}
 	wg.Wait()
@@ -37,7 +56,7 @@ func RunLogStudyParallel(cfg Config) []*SourceReport {
 
 // analyzeSourceShards analyzes one source's stream across shard workers,
 // each throttled by the shared slot pool, and merges the shards.
-func analyzeSourceShards(s loggen.Source, stream []string, shards int, slots chan struct{}) *SourceReport {
+func analyzeSourceShards(ctx context.Context, s loggen.Source, stream []string, shards int, slots chan struct{}) *SourceReport {
 	parts := ShardSplit(stream, shards)
 	analyzers := make([]*Analyzer, len(parts))
 	var wg sync.WaitGroup
@@ -50,12 +69,29 @@ func analyzeSourceShards(s loggen.Source, stream []string, shards int, slots cha
 			a := NewAnalyzer(s.Name)
 			a.Report.Wikidata = s.Wikidata
 			a.Report.Robotic = s.Robotic
-			for _, q := range part {
-				a.Ingest(q)
-			}
+			ingestShard(ctx, a, k, part)
 			analyzers[k] = a
 		}(k, part)
 	}
 	wg.Wait()
-	return MergeShards(s.Name, analyzers)
+	_, mergeSpan := obs.StartSpan(ctx, "core.merge")
+	mergeSpan.Count("shards", int64(len(analyzers)))
+	rep := MergeShards(s.Name, analyzers)
+	mergeSpan.Finish()
+	return rep
+}
+
+// ingestShard pushes one shard through its analyzer under a
+// "core.shard" span accounting the ingest volume and outcome.
+func ingestShard(ctx context.Context, a *Analyzer, k int, part []string) {
+	_, span := obs.StartSpan(ctx, "core.shard")
+	defer span.Finish()
+	span.SetAttr("shard", strconv.Itoa(k))
+	ingested := span.Counter("queries_ingested")
+	for _, q := range part {
+		a.Ingest(q)
+		ingested.Inc()
+	}
+	span.Count("valid", int64(a.Report.Valid))
+	span.Count("unique", int64(a.Report.Unique))
 }

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"io"
 	"runtime"
 
 	"repro/internal/loggen"
+	"repro/internal/obs"
 )
 
 // defaultSeedStride is the historical per-source seed stride of
@@ -79,9 +81,20 @@ func RunLogStudy(seed int64, scaleDiv int) []*SourceReport {
 // RunLogStudySequential is the single-goroutine reference pipeline: every
 // query of every source is generated and ingested in stream order.
 func RunLogStudySequential(cfg Config) []*SourceReport {
+	return RunLogStudySequentialCtx(context.Background(), cfg)
+}
+
+// RunLogStudySequentialCtx is RunLogStudySequential under a (possibly
+// traced) context: each source gets a "core.source" span whose ingest
+// work is accounted in a queries_ingested counter. Reports are
+// byte-identical to the untraced run.
+func RunLogStudySequentialCtx(ctx context.Context, cfg Config) []*SourceReport {
 	cfg = cfg.normalized()
 	var reports []*SourceReport
 	for i, s := range loggen.Sources() {
+		_, span := obs.StartSpan(ctx, "core.source")
+		span.SetAttr("source", s.Name)
+		ingested := span.Counter("queries_ingested")
 		g := loggen.NewGen(s, cfg.SourceSeed(i))
 		a := NewAnalyzer(s.Name)
 		a.Report.Wikidata = s.Wikidata
@@ -89,7 +102,11 @@ func RunLogStudySequential(cfg Config) []*SourceReport {
 		n := g.Count(cfg.ScaleDiv)
 		for j := 0; j < n; j++ {
 			a.Ingest(g.Next())
+			ingested.Inc()
 		}
+		span.Count("valid", int64(a.Report.Valid))
+		span.Count("unique", int64(a.Report.Unique))
+		span.Finish()
 		reports = append(reports, a.Report)
 	}
 	return reports

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/automata"
 	"repro/internal/chare"
+	"repro/internal/obs"
 )
 
 // Contains decides L(d1) ⊆ L(d2) — DTD containment, which Section 4.2.2
@@ -29,10 +30,13 @@ func Contains(d1, d2 *DTD) bool {
 // adversarial instance at its deadline. On cancellation the boolean is
 // meaningless and the error is ctx.Err().
 func ContainsCtx(ctx context.Context, d1, d2 *DTD) (bool, error) {
+	ctx, span := obs.StartSpan(ctx, "dtd.contains")
+	defer span.Finish()
 	real, err := d1.realizableCtx(ctx)
 	if err != nil {
 		return false, err
 	}
+	labelsChecked := span.Counter("labels_checked")
 	// reachable ∩ realizable labels of d1, starting from realizable starts
 	reachable := map[string]bool{}
 	var stack []string
@@ -61,6 +65,7 @@ func ContainsCtx(ctx context.Context, d1, d2 *DTD) (bool, error) {
 		if err := ctx.Err(); err != nil {
 			return false, err
 		}
+		labelsChecked.Inc()
 		n := restrictNFA(automata.Glushkov(d1.Rule(a)), real)
 		ok, err := automata.NFAContainsCtx(ctx, n, d2.Rule(a))
 		if err != nil {

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/automata"
 	"repro/internal/inference"
+	"repro/internal/obs"
 	"repro/internal/regex"
 	"repro/internal/tree"
 )
@@ -201,9 +202,13 @@ func (d *DTD) Realizable() map[string]bool {
 // per label per pass: the loop is polynomial in the DTD size, but large
 // adversarial DTDs still deserve a deadline.
 func (d *DTD) realizableCtx(ctx context.Context) (map[string]bool, error) {
+	_, span := obs.StartSpan(ctx, "dtd.realizable")
+	defer span.Finish()
+	rounds := span.Counter("fixpoint_rounds")
 	real := map[string]bool{}
 	alpha := d.Alphabet()
 	for {
+		rounds.Inc()
 		changed := false
 		for _, a := range alpha {
 			if err := ctx.Err(); err != nil {

@@ -1,10 +1,13 @@
 package inference
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/regex"
 )
 
@@ -20,10 +23,19 @@ import (
 // topological order, become the disjunction factors; occurrence counts per
 // word determine each factor's modifier (1, ?, *, +).
 func InferCHARE(s Sample) *regex.Expr {
+	return InferCHARECtx(context.Background(), s)
+}
+
+// InferCHARECtx is InferCHARE under a (possibly traced) context,
+// recording an "inference.crx" span with the precedence-graph size.
+func InferCHARECtx(ctx context.Context, s Sample) *regex.Expr {
+	_, span := obs.StartSpan(ctx, "inference.crx")
+	defer span.Finish()
 	if len(s) == 0 {
 		return regex.NewEmpty()
 	}
 	alpha := s.Alphabet()
+	span.Count("alphabet_size", int64(len(alpha)))
 	if len(alpha) == 0 {
 		return regex.NewEpsilon()
 	}
@@ -50,6 +62,7 @@ func InferCHARE(s Sample) *regex.Expr {
 		}
 	}
 	comps := tarjanSCC(n, edge)
+	span.Count("chain_factors", int64(len(comps)))
 	// topological order of components: comps from Tarjan come in reverse
 	// topological order; reverse them.
 	for i, j := 0, len(comps)-1; i < j; i, j = i+1, j-1 {
@@ -168,9 +181,19 @@ func tarjanSCC(n int, edge [][]bool) [][]int {
 // is a homomorphism, so the sample stays inside the language
 // (Definition 4.7(1)). For k = 1 this is exactly InferSORE.
 func InferKORE(s Sample, k int) *regex.Expr {
+	return InferKORECtx(context.Background(), s, k)
+}
+
+// InferKORECtx is InferKORE under a (possibly traced) context; the
+// occurrence marking and unmarking happen inside an "inference.kore"
+// span, with the SORE learning over the marked alphabet as its child.
+func InferKORECtx(ctx context.Context, s Sample, k int) *regex.Expr {
 	if k <= 1 {
-		return InferSORE(s)
+		return InferSORECtx(ctx, s)
 	}
+	ctx, span := obs.StartSpan(ctx, "inference.kore")
+	defer span.Finish()
+	span.SetAttr("k", strconv.Itoa(k))
 	marked := make(Sample, len(s))
 	for i, w := range s {
 		counts := map[string]int{}
@@ -185,7 +208,7 @@ func InferKORE(s Sample, k int) *regex.Expr {
 		}
 		marked[i] = mw
 	}
-	e := InferSORE(marked)
+	e := InferSORECtx(ctx, marked)
 	return unmark(e)
 }
 
@@ -211,15 +234,29 @@ func unmark(e *regex.Expr) *regex.Expr {
 // deterministic it returns the k = 1 result. The determinism check is the
 // Glushkov criterion; see internal/determinism.
 func InferBestKORE(s Sample, maxK int, isDeterministic func(*regex.Expr) bool) (*regex.Expr, int) {
+	return InferBestKORECtx(context.Background(), s, maxK, isDeterministic)
+}
+
+// InferBestKORECtx is InferBestKORE under a (possibly traced) context:
+// each candidate k gets its own child span via InferKORECtx, and the
+// "inference.best_kore" span records how many candidates were tried
+// and which k won.
+func InferBestKORECtx(ctx context.Context, s Sample, maxK int, isDeterministic func(*regex.Expr) bool) (*regex.Expr, int) {
+	ctx, span := obs.StartSpan(ctx, "inference.best_kore")
+	defer span.Finish()
+	tried := span.Counter("candidates_tried")
 	var first *regex.Expr
 	for k := 1; k <= maxK; k++ {
-		e := InferKORE(s, k)
+		tried.Inc()
+		e := InferKORECtx(ctx, s, k)
 		if first == nil {
 			first = e
 		}
 		if isDeterministic(e) {
+			span.SetAttr("chosen_k", strconv.Itoa(k))
 			return e, k
 		}
 	}
+	span.SetAttr("chosen_k", "1")
 	return first, 1
 }

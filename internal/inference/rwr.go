@@ -1,8 +1,10 @@
 package inference
 
 import (
+	"context"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/regex"
 )
 
@@ -14,21 +16,41 @@ import (
 // as a last resort by falling back to the CRX chain inference), so the
 // invariant sample ⊆ L(result) always holds.
 func InferSORE(s Sample) *regex.Expr {
+	return InferSORECtx(context.Background(), s)
+}
+
+// InferSORECtx is InferSORE under a (possibly traced) context: the
+// 2T-INF automaton construction and the RWR rewriting fixpoint get
+// their own child spans, with the rewrite rounds, SCC collapses, and
+// CRX fallback accounted — the phase breakdown a trace of a slow
+// inference request should show.
+func InferSORECtx(ctx context.Context, s Sample) *regex.Expr {
+	ctx, span := obs.StartSpan(ctx, "inference.sore")
+	defer span.Finish()
 	if len(s) == 0 {
 		return regex.NewEmpty()
 	}
+	_, soaSpan := obs.StartSpan(ctx, "inference.2tinf")
 	soa := BuildSOA(s)
+	soaSpan.Finish()
+	_, rwrSpan := obs.StartSpan(ctx, "inference.rwr")
+	ruleRounds := rwrSpan.Counter("rule_rounds")
+	sccCollapses := rwrSpan.Counter("scc_collapses")
 	g := newRewriteGraph(soa)
 	for {
 		if g.applyRules() {
+			ruleRounds.Inc()
 			continue
 		}
 		if g.collapseSCC() {
+			sccCollapses.Inc()
 			continue
 		}
 		break
 	}
-	if e, ok := g.result(); ok {
+	e, ok := g.result()
+	rwrSpan.Finish()
+	if ok {
 		if nullableSample(s) && !e.Nullable() {
 			return regex.NewOpt(e)
 		}
@@ -36,7 +58,8 @@ func InferSORE(s Sample) *regex.Expr {
 	}
 	// Irreducible DAG remainder: fall back to the chain inference, which is
 	// also single-occurrence.
-	return InferCHARE(s)
+	span.SetAttr("fallback", "crx")
+	return InferCHARECtx(ctx, s)
 }
 
 func nullableSample(s Sample) bool {

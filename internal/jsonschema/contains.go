@@ -1,9 +1,12 @@
 package jsonschema
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
+
+	"repro/internal/obs"
 )
 
 // Containment for JSON Schema. Section 4.5 cites "early work on JSON
@@ -38,12 +41,28 @@ func (v Verdict) String() string {
 // On NotContained the returned witness is a JSON document accepted by s1
 // and rejected by s2.
 func Contains(s1, s2 *Schema, samples int, seed int64) (Verdict, string) {
+	return ContainsCtx(context.Background(), s1, s2, samples, seed)
+}
+
+// ContainsCtx is Contains under a (possibly traced) context: it records
+// a "jsonschema.contains" span accounting the sampling work — documents
+// generated, documents that actually validated against s1 (the
+// generator is best-effort), and whether the verdict came from a
+// refuting sample or the structural subsumption pass. The verdict
+// itself never depends on the context; the work is bounded by the
+// sample budget, so no cancellation checkpoints are needed.
+func ContainsCtx(ctx context.Context, s1, s2 *Schema, samples int, seed int64) (Verdict, string) {
+	_, span := obs.StartSpan(ctx, "jsonschema.contains")
+	defer span.Finish()
+	generated := span.Counter("samples_generated")
+	checked := span.Counter("samples_checked")
 	r := rand.New(rand.NewSource(seed))
 	for i := 0; i < samples; i++ {
 		doc, ok := s1.generate(r, s1, 6)
 		if !ok {
 			continue
 		}
+		generated.Inc()
 		raw, err := json.Marshal(doc)
 		if err != nil {
 			continue
@@ -52,13 +71,17 @@ func Contains(s1, s2 *Schema, samples int, seed int64) (Verdict, string) {
 		if !s1.valid(s1, doc) {
 			continue
 		}
+		checked.Inc()
 		if !s2.valid(s2, doc) {
+			span.SetAttr("decided_by", "sample_refutation")
 			return NotContained, string(raw)
 		}
 	}
 	if subsumes(s1, s1, s2, s2, 16) {
+		span.SetAttr("decided_by", "structural_subsumption")
 		return Contained, ""
 	}
+	span.SetAttr("decided_by", "unknown")
 	return Unknown, ""
 }
 

@@ -7,8 +7,10 @@ package kore
 
 import (
 	"context"
+	"strconv"
 
 	"repro/internal/automata"
+	"repro/internal/obs"
 	"repro/internal/regex"
 )
 
@@ -59,6 +61,14 @@ func Containment(e1, e2 *regex.Expr) bool {
 // polynomial for fixed k, the |Σ|·2^k DFA bound still grows quickly with
 // k, so servers run the check under a deadline.
 func ContainmentCtx(ctx context.Context, e1, e2 *regex.Expr) (bool, error) {
+	ctx, span := obs.StartSpan(ctx, "kore.contains")
+	defer span.Finish()
+	if span != nil {
+		// The occurrence numbers determine the |Σ|·2^k DFA bound, so a
+		// trace of a slow k-ORE check should show them.
+		span.SetAttr("k_left", strconv.Itoa(K(e1)))
+		span.SetAttr("k_right", strconv.Itoa(K(e2)))
+	}
 	return automata.ContainsCtx(ctx, e1, e2)
 }
 

@@ -162,6 +162,19 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return &Gauge{f.child(nil)}
 }
 
+// GaugeVec is a gauge family with labels (e.g. a build-info metric whose
+// constant value 1 carries its information in the labels).
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers a new labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, kindGauge, nil, labels...)}
+}
+
+// With returns the gauge for the given label values, creating it on
+// first use.
+func (v *GaugeVec) With(values ...string) *Gauge { return &Gauge{v.f.child(values)} }
+
 // GaugeFunc registers a gauge whose value is computed by f at scrape time
 // (used for values owned elsewhere, e.g. cache occupancy or semaphore
 // depth). f must be safe for concurrent use.

@@ -1,0 +1,41 @@
+package obs
+
+import "sync"
+
+// Process-wide cost counters, for hot paths that do not carry a
+// context (the Brzozowski derivative engine is recursive and pure; its
+// callers would have to thread a context through every recursion to
+// get span-scoped accounting). A Global counter is one atomic add per
+// event — always on, never sampled — and the service exports the
+// snapshot into the metrics registry at scrape time.
+
+var (
+	globalMu sync.Mutex
+	globals  = map[string]*Counter{}
+)
+
+// Global returns the process-wide counter with the given name,
+// creating it on first use. The returned pointer is stable; hot paths
+// look it up once in a package-level var.
+func Global(name string) *Counter {
+	globalMu.Lock()
+	defer globalMu.Unlock()
+	c, ok := globals[name]
+	if !ok {
+		c = &Counter{name: name}
+		globals[name] = c
+	}
+	return c
+}
+
+// GlobalSnapshot returns a name→value copy of every process-wide
+// counter.
+func GlobalSnapshot() map[string]int64 {
+	globalMu.Lock()
+	defer globalMu.Unlock()
+	out := make(map[string]int64, len(globals))
+	for name, c := range globals {
+		out[name] = c.Value()
+	}
+	return out
+}

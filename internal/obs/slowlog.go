@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// SlowLog is a process-wide, sampled log of operations that exceeded a
+// duration threshold. A saturated server can finish thousands of slow
+// spans per second (an adversarial burst makes every request slow), so
+// the log samples: of the spans over Threshold, every Sample-th one is
+// emitted, the rest only counted. Seen/Logged expose the totals so the
+// sampling loss is never silent.
+type SlowLog struct {
+	// Threshold is the minimum duration for a span to count as slow.
+	Threshold time.Duration
+	// Sample emits 1 of every Sample slow spans; <= 1 emits all.
+	Sample int64
+	// Logger receives the structured lines; nil drops them (the
+	// counters still advance).
+	Logger *log.Logger
+
+	seen   atomic.Int64
+	logged atomic.Int64
+}
+
+// Seen returns how many spans exceeded the threshold.
+func (l *SlowLog) Seen() int64 { return l.seen.Load() }
+
+// Logged returns how many slow spans were actually emitted.
+func (l *SlowLog) Logged() int64 { return l.logged.Load() }
+
+func (l *SlowLog) observe(s *Span) {
+	if s.Duration() < l.Threshold {
+		return
+	}
+	k := l.seen.Add(1)
+	sample := l.Sample
+	if sample < 1 {
+		sample = 1
+	}
+	if (k-1)%sample != 0 {
+		return
+	}
+	l.logged.Add(1)
+	if l.Logger == nil {
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "level=warn msg=slow_op trace=%s span=%q dur_ms=%.2f threshold_ms=%d",
+		s.TraceID(), s.Name(), float64(s.Duration().Microseconds())/1000,
+		l.Threshold.Milliseconds())
+	counters := s.Counters()
+	keys := make([]string, 0, len(counters))
+	for k := range counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%d", k, counters[k])
+	}
+	s.mu.Lock()
+	attrs := append([]Attr(nil), s.attrs...)
+	s.mu.Unlock()
+	for _, a := range attrs {
+		fmt.Fprintf(&b, " %s=%q", a.Key, a.Value)
+	}
+	l.Logger.Print(b.String())
+}

@@ -33,6 +33,10 @@ type containmentRequest struct {
 	// DeadlineMS overrides the server's default deadline (clamped to the
 	// configured maximum).
 	DeadlineMS int `json:"deadline_ms"`
+	// Explain asks for the span tree of the decision alongside the
+	// verdict. Explain requests bypass the verdict-cache read: a cache
+	// hit would short-circuit the engine and return an empty trace.
+	Explain bool `json:"explain"`
 }
 
 type containmentResponse struct {
@@ -109,7 +113,7 @@ func (s *Server) handleContainment(ctx context.Context, body []byte) (any, *apiE
 		}
 		key = cacheKey("jsonschema", cl, cr)
 		engine = func(ctx context.Context) (bool, string, string, error) {
-			v, witness := jsonschema.Contains(s1, s2, jsonschemaSamples, 1)
+			v, witness := jsonschema.ContainsCtx(ctx, s1, s2, jsonschemaSamples, 1)
 			switch v {
 			case jsonschema.Contained:
 				return true, "contained", "", nil
@@ -122,10 +126,12 @@ func (s *Server) handleContainment(ctx context.Context, body []byte) (any, *apiE
 		return nil, errBadRequest("unknown engine %q (want regex, kore, dtd, or jsonschema)", req.Engine)
 	}
 
-	if v, ok := s.cache.Get(key); ok {
-		resp := v.(containmentResponse)
-		resp.Cached = true
-		return resp, nil
+	if !req.Explain {
+		if v, ok := s.cache.Get(key); ok {
+			resp := v.(containmentResponse)
+			resp.Cached = true
+			return resp, nil
+		}
 	}
 	start := time.Now()
 	out, aerr := runEngine(ctx, func(ctx context.Context) (any, error) {
@@ -376,19 +382,19 @@ func (s *Server) handleInfer(ctx context.Context, body []byte) (any, *apiError) 
 		k := req.K
 		switch req.Algorithm {
 		case "sore":
-			e = inference.InferSORE(sample)
+			e = inference.InferSORECtx(ctx, sample)
 		case "chare":
-			e = inference.InferCHARE(sample)
+			e = inference.InferCHARECtx(ctx, sample)
 		case "kore":
 			if k < 1 {
 				k = 2
 			}
-			e = inference.InferKORE(sample, k)
+			e = inference.InferKORECtx(ctx, sample, k)
 		case "best-kore":
 			if k < 1 {
 				k = 4
 			}
-			e, k = inference.InferBestKORE(sample, k, func(e *regex.Expr) bool {
+			e, k = inference.InferBestKORECtx(ctx, sample, k, func(e *regex.Expr) bool {
 				return automata.Glushkov(e).IsDeterministic()
 			})
 		}
@@ -435,7 +441,7 @@ func (s *Server) handleAnalyze(ctx context.Context, body []byte) (any, *apiError
 	}
 	start := time.Now()
 	return runEngine(ctx, func(ctx context.Context) (any, error) {
-		rep := core.AnalyzeQueries(name, req.Queries, workers)
+		rep := core.AnalyzeQueriesCtx(ctx, name, req.Queries, workers)
 		return analyzeResponse{
 			Queries:   len(req.Queries),
 			Workers:   workers,

@@ -8,6 +8,8 @@ import (
 	"io"
 	"net/http"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // apiError is an error with an HTTP status. Handlers return it instead of
@@ -38,18 +40,23 @@ func ctxError(err error) *apiError {
 type handlerFunc func(ctx context.Context, body []byte) (any, *apiError)
 
 // endpoint wraps h in the shared middleware stack: admission control,
-// request-size cap, per-request deadline, response rendering, latency
-// histogram, request counter, and a structured access log line.
+// request-size cap, per-request deadline, root span, response rendering
+// (with the span tree merged in for "explain": true), latency histogram,
+// request counter, and a structured access log line.
 func (s *Server) endpoint(name string, h handlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		code := http.StatusOK
+		traceID := ""
 		defer func() {
 			elapsed := time.Since(start)
 			s.reqTotal.With(name, fmt.Sprintf("%d", code)).Inc()
 			s.latency.With(name).Observe(elapsed.Seconds())
-			s.log.Printf("level=info method=%s path=%s endpoint=%s code=%d dur_ms=%.2f remote=%s",
-				r.Method, r.URL.Path, name, code, float64(elapsed.Microseconds())/1000, r.RemoteAddr)
+			// path and remote are attacker-controlled: %q-quote them so a
+			// crafted URL cannot inject fake key=value pairs or newlines
+			// into the log stream.
+			s.log.Printf("level=info method=%s path=%q endpoint=%s code=%d dur_ms=%.2f remote=%q trace=%s",
+				r.Method, r.URL.Path, name, code, float64(elapsed.Microseconds())/1000, r.RemoteAddr, traceID)
 		}()
 
 		// Admission control: shed load before reading the body so an
@@ -82,7 +89,14 @@ func (s *Server) endpoint(name string, h handlerFunc) http.Handler {
 		ctx, cancel := context.WithTimeout(r.Context(), s.deadline(body))
 		defer cancel()
 
+		// Every admitted request runs under a root span: the engines'
+		// child spans feed the rwd_span_* metrics and the slow-op log
+		// whether or not the client asked for explain mode.
+		ctx, span := s.tracer.StartRoot(ctx, "http."+name)
+		traceID = span.TraceID()
+
 		out, aerr := h(ctx, body)
+		span.Finish()
 		if aerr != nil {
 			code = aerr.status
 			if code == http.StatusGatewayTimeout {
@@ -91,8 +105,38 @@ func (s *Server) endpoint(name string, h handlerFunc) http.Handler {
 			writeJSON(w, code, map[string]string{"error": aerr.msg})
 			return
 		}
+		if explainRequested(body) {
+			out = withTrace(out, span.Tree())
+		}
 		writeJSON(w, http.StatusOK, out)
 	})
+}
+
+// explainRequested peeks the optional "explain" field shared by every
+// POST body (like deadline_ms, it lives beside the endpoint-specific
+// fields).
+func explainRequested(body []byte) bool {
+	var peek struct {
+		Explain bool `json:"explain"`
+	}
+	return json.Unmarshal(body, &peek) == nil && peek.Explain
+}
+
+// withTrace merges the span tree into the response object under a
+// "trace" key. Responses are structs or maps that marshal to JSON
+// objects; if re-marshaling fails the verdict is returned untouched
+// rather than lost.
+func withTrace(out any, tree *obs.Node) any {
+	raw, err := json.Marshal(out)
+	if err != nil {
+		return out
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return out
+	}
+	m["trace"] = tree
+	return m
 }
 
 // deadline extracts the optional deadline_ms field shared by every POST

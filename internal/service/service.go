@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // Config parameterizes the server. The zero value is usable: every field
@@ -54,6 +55,13 @@ type Config struct {
 	// AnalyzeWorkers bounds the worker pool of /v1/analyze;
 	// <= 0 means GOMAXPROCS.
 	AnalyzeWorkers int
+	// SlowOpThreshold is the span duration above which the slow-op log
+	// emits a structured line; <= 0 means 500ms. Set very high to
+	// effectively disable.
+	SlowOpThreshold time.Duration
+	// SlowOpSample emits 1 of every SlowOpSample slow spans (the rest
+	// are counted, not logged); <= 1 emits all.
+	SlowOpSample int64
 	// Logger receives structured access and error logs; nil means stderr.
 	Logger *log.Logger
 }
@@ -80,6 +88,9 @@ func (c Config) withDefaults() Config {
 	if c.AnalyzeWorkers <= 0 {
 		c.AnalyzeWorkers = runtime.GOMAXPROCS(0)
 	}
+	if c.SlowOpThreshold <= 0 {
+		c.SlowOpThreshold = 500 * time.Millisecond
+	}
 	if c.Logger == nil {
 		c.Logger = log.New(os.Stderr, "rwdserve ", log.LstdFlags|log.Lmicroseconds)
 	}
@@ -89,17 +100,20 @@ func (c Config) withDefaults() Config {
 // Server is the HTTP service. Construct with New; Handler returns the
 // routed middleware stack.
 type Server struct {
-	cfg   Config
-	log   *log.Logger
-	mux   *http.ServeMux
-	reg   *metrics.Registry
-	cache *cache.Cache
-	sem   chan struct{}
+	cfg    Config
+	log    *log.Logger
+	mux    *http.ServeMux
+	reg    *metrics.Registry
+	cache  *cache.Cache
+	sem    chan struct{}
+	tracer *obs.Tracer
 
 	reqTotal *metrics.CounterVec   // endpoint, code
 	latency  *metrics.HistogramVec // endpoint
 	rejected *metrics.CounterVec   // reason
 	timeouts *metrics.CounterVec   // endpoint
+	spanSecs *metrics.HistogramVec // span
+	spanCost *metrics.CounterVec   // span, counter
 }
 
 // New constructs a Server from cfg.
@@ -132,6 +146,62 @@ func New(cfg Config) *Server {
 		"Verdict-cache evictions.", func() float64 { return float64(s.cache.Stats().Evictions) })
 	s.reg.GaugeFunc("rwdserve_cache_entries",
 		"Verdict-cache occupancy.", func() float64 { return float64(s.cache.Stats().Len) })
+
+	// Span telemetry: every finished span of every request feeds a
+	// duration histogram and its cost counters, keyed by span name, so
+	// the cost of determinization vs. product search vs. shard merge is
+	// visible on /metrics even when no client asks for explain mode.
+	s.spanSecs = s.reg.HistogramVec("rwd_span_seconds",
+		"Span durations in seconds, by span name.", metrics.DefBuckets, "span")
+	s.spanCost = s.reg.CounterVec("rwd_span_cost_total",
+		"Accumulated span cost counters (states expanded, queries ingested, ...), by span name and counter.",
+		"span", "counter")
+	s.tracer = &obs.Tracer{
+		OnFinish: func(sp *obs.Span) {
+			s.spanSecs.With(sp.Name()).Observe(sp.Duration().Seconds())
+			for name, v := range sp.Counters() {
+				if v != 0 {
+					s.spanCost.With(sp.Name(), name).Add(v)
+				}
+			}
+		},
+		Slow: &obs.SlowLog{
+			Threshold: cfg.SlowOpThreshold,
+			Sample:    cfg.SlowOpSample,
+			Logger:    cfg.Logger,
+		},
+	}
+	s.reg.GaugeFunc("rwd_slow_ops_seen_total",
+		"Spans that exceeded the slow-op threshold.",
+		func() float64 { return float64(s.tracer.Slow.Seen()) })
+	s.reg.GaugeFunc("rwd_slow_ops_logged_total",
+		"Slow spans actually emitted to the log (the rest were sampled out).",
+		func() float64 { return float64(s.tracer.Slow.Logged()) })
+
+	// Process-wide cost counters for context-free code paths (the regex
+	// derivative engine is pure recursion with no ctx parameter).
+	s.reg.GaugeFunc("rwd_regex_derivative_steps_total",
+		"Brzozowski derivative steps taken process-wide.",
+		func() float64 { return float64(obs.Global("regex_derivative_steps").Value()) })
+	s.reg.GaugeFunc("rwd_regex_similarity_dedup_hits_total",
+		"Union branches removed by similarity dedup process-wide.",
+		func() float64 { return float64(obs.Global("regex_similarity_dedup_hits").Value()) })
+
+	// Process self-metrics: enough to spot a leak or a runaway request
+	// fleet from the scrape alone.
+	s.reg.GaugeFunc("go_goroutines",
+		"Number of goroutines that currently exist.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	s.reg.GaugeFunc("go_memstats_heap_alloc_bytes",
+		"Bytes of allocated heap objects.",
+		func() float64 {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			return float64(m.HeapAlloc)
+		})
+	s.reg.GaugeVec("rwd_build_info",
+		"Constant 1; build information is carried in the labels.",
+		"go_version").With(runtime.Version()).Set(1)
 
 	s.mux.Handle("POST /v1/containment", s.endpoint("containment", s.handleContainment))
 	s.mux.Handle("POST /v1/membership", s.endpoint("membership", s.handleMembership))
