@@ -11,6 +11,18 @@
 // -scale is the corpus scale divisor for the log-derived experiments:
 // 1000 generates 1:1000 of the paper's 558M queries (≈ 558k), the default
 // 10000 generates ≈ 56k.
+//
+// -serve-load switches to the service load generator: sustained, seeded,
+// concurrent mixed traffic against rwdserve, distilled into a
+// BENCH_serve.json baseline (p50/p99 latency, RPS, cache hit rate,
+// timeout counts, span cost totals):
+//
+//	rwdbench -serve-load [-serve-url http://127.0.0.1:8080] \
+//	         [-serve-duration 10s] [-serve-concurrency 8] \
+//	         [-serve-out BENCH_serve.json] [-seed 1]
+//
+// With an empty -serve-url an in-process rwdserve is started on a
+// loopback listener, so a baseline never needs external setup.
 package main
 
 import (
@@ -18,17 +30,22 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log"
 	"math/rand"
+	"net"
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/core"
-	"repro/internal/obs"
 	"repro/internal/edtd"
 	"repro/internal/jsonschema"
+	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/schemastudy"
+	"repro/internal/service"
+	"repro/internal/serveload"
 	"repro/internal/xmllite"
 	"repro/internal/xpath"
 )
@@ -40,7 +57,20 @@ func main() {
 	graphScale := flag.Float64("graphscale", 0.2, "graph size factor for Table 1")
 	workers := flag.Int("workers", 0, "analysis workers for the log pipeline; 0 = one per CPU, 1 = sequential")
 	trace := flag.String("trace", "", "dump the log-pipeline span tree after the run: '-' writes stderr, anything else is a file path; empty disables")
+	serveLoad := flag.Bool("serve-load", false, "drive a seeded load run against rwdserve and write a BENCH_serve.json baseline (skips the paper experiments)")
+	serveURL := flag.String("serve-url", "", "base URL of a running rwdserve for -serve-load; empty starts one in-process")
+	serveDuration := flag.Duration("serve-duration", 10*time.Second, "sustained-load window for -serve-load")
+	serveConcurrency := flag.Int("serve-concurrency", 8, "concurrent load workers for -serve-load")
+	serveOut := flag.String("serve-out", "BENCH_serve.json", "where -serve-load writes the baseline report")
 	flag.Parse()
+
+	if *serveLoad {
+		if err := runServeLoad(*serveURL, *seed, *serveDuration, *serveConcurrency, *serveOut); err != nil {
+			fmt.Fprintln(os.Stderr, "rwdbench: serve-load:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	needLogs := map[string]bool{
 		"all": true, "table2": true, "table3": true, "table4": true,
@@ -189,6 +219,55 @@ func runRDFStats(seed int64) {
 		st.MeanObjectsPerSP, st.MeanSubjectsPerPO, st.StdDevSubjectsPerPO)
 	fmt.Printf("|P∩S|/|P∪S| = %.2g, |P∩O|/|P∪O| = %.2g (paper: 0 or 10⁻⁷..10⁻³)\n",
 		st.PSOverlap, st.POOverlap)
+}
+
+// runServeLoad drives the load generator and writes the baseline. With
+// no URL it starts an in-process rwdserve on a loopback port first, so
+// `rwdbench -serve-load` is self-contained.
+func runServeLoad(url string, seed int64, duration time.Duration, concurrency int, out string) error {
+	if url == "" {
+		srv := service.New(service.Config{Logger: log.New(io.Discard, "", 0)})
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		shutdown := make(chan struct{})
+		served := make(chan error, 1)
+		go func() { served <- srv.Serve(l, shutdown, 5*time.Second) }()
+		defer func() {
+			close(shutdown)
+			<-served
+		}()
+		url = "http://" + l.Addr().String()
+		fmt.Fprintf(os.Stderr, "rwdbench: in-process rwdserve on %s\n", url)
+	}
+	fmt.Fprintf(os.Stderr, "rwdbench: driving %s for %s (%d workers, seed %d) …\n",
+		url, duration, concurrency, seed)
+	rep, err := serveload.Run(serveload.Config{
+		BaseURL:     url,
+		Seed:        seed,
+		Duration:    duration,
+		Concurrency: concurrency,
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := serveload.WriteJSON(f, rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"rwdbench: %d requests in %.1fs — %.0f rps, p50 %.2fms, p99 %.2fms, cache hit rate %.1f%%, %d timeouts -> %s\n",
+		rep.Requests, rep.DurationSeconds, rep.RPS,
+		rep.LatencyMS.P50, rep.LatencyMS.P99, 100*rep.Cache.HitRate, rep.Timeouts, out)
+	return nil
 }
 
 func pctOf(n, total int) float64 {

@@ -69,6 +69,82 @@ func TestZeroCapacityDisables(t *testing.T) {
 	}
 }
 
+// TestConcurrentSameKeyRefresh hammers one key with concurrent Put
+// refreshes and Gets: refreshing an existing key must never evict, the
+// final value must be one actually written, and occupancy stays 1.
+func TestConcurrentSameKeyRefresh(t *testing.T) {
+	c := New(8)
+	const workers, rounds = 16, 500
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				c.Put("hot", g*rounds+i)
+				if v, ok := c.Get("hot"); ok {
+					if n, isInt := v.(int); !isInt || n < 0 || n >= workers*rounds {
+						t.Errorf("Get returned a value never written: %v", v)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Evictions != 0 {
+		t.Fatalf("same-key refreshes caused %d evictions, want 0", st.Evictions)
+	}
+	if st.Len != 1 {
+		t.Fatalf("len = %d, want 1", st.Len)
+	}
+	if st.Misses > uint64(workers) {
+		// only Gets racing ahead of the very first Put may miss
+		t.Fatalf("misses = %d, want <= %d", st.Misses, workers)
+	}
+}
+
+// TestEvictionCounterInvariant pins the accounting identity: for
+// distinct-key insertions, inserts == Len + Evictions, both sequentially
+// and under concurrency (every worker inserts a disjoint key range, so
+// every Put is an insert).
+func TestEvictionCounterInvariant(t *testing.T) {
+	c := New(4)
+	for i := 0; i < 10; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	st := c.Stats()
+	if st.Len != 4 || st.Evictions != 6 {
+		t.Fatalf("len/evictions = %d/%d, want 4/6", st.Len, st.Evictions)
+	}
+	c.Put("k9", 99) // refresh of a resident key: no insert, no eviction
+	if st := c.Stats(); st.Evictions != 6 || st.Len != 4 {
+		t.Fatalf("refresh moved the counters: %+v", st)
+	}
+
+	const workers, perWorker, capacity = 8, 300, 32
+	cc := New(capacity)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				cc.Put(fmt.Sprintf("w%d-%d", g, i), i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	cst := cc.Stats()
+	if cst.Len != capacity {
+		t.Fatalf("len = %d, want %d", cst.Len, capacity)
+	}
+	if inserts := uint64(workers * perWorker); cst.Evictions != inserts-uint64(cst.Len) {
+		t.Fatalf("evictions = %d, want inserts-len = %d", cst.Evictions, inserts-uint64(cst.Len))
+	}
+}
+
 func TestConcurrentAccess(t *testing.T) {
 	c := New(64)
 	var wg sync.WaitGroup

@@ -1,8 +1,10 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"strconv"
 	"time"
 
 	"repro/internal/automata"
@@ -13,6 +15,7 @@ import (
 	"repro/internal/jsonschema"
 	"repro/internal/kore"
 	"repro/internal/regex"
+	"repro/internal/textio"
 	"repro/internal/tree"
 )
 
@@ -20,6 +23,13 @@ import (
 // jsonschema containment engine; fixed (with the seed) so that verdicts
 // are deterministic and therefore cacheable.
 const jsonschemaSamples = 200
+
+// Every endpoint body is parsed and decided by a decide* function that
+// runs synchronously under ctx: parse, per-instance cache lookup where a
+// cache exists, engine, cache fill. The single-decision endpoints wrap
+// one decide call in the runEngine deadline harness; /v1/batch calls the
+// same functions once per item, so a batch verdict is identical to the
+// verdict the dedicated endpoint would have produced.
 
 // ---- POST /v1/containment ----
 
@@ -31,7 +41,8 @@ type containmentRequest struct {
 	Left   string `json:"left"`
 	Right  string `json:"right"`
 	// DeadlineMS overrides the server's default deadline (clamped to the
-	// configured maximum).
+	// configured maximum). Parsed by the middleware envelope; listed here
+	// so the request shape documents itself.
 	DeadlineMS int `json:"deadline_ms"`
 	// Explain asks for the span tree of the decision alongside the
 	// verdict. Explain requests bypass the verdict-cache read: a cache
@@ -48,7 +59,16 @@ type containmentResponse struct {
 	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
-func (s *Server) handleContainment(ctx context.Context, body []byte) (any, *apiError) {
+func (s *Server) handleContainment(ctx context.Context, req *request) (any, *apiError) {
+	return runEngine(ctx, req, func(ctx context.Context) (any, *apiError) {
+		return s.decideContainment(ctx, req.body, req.env.Explain)
+	})
+}
+
+// decideContainment parses one containment instance, consults the
+// verdict cache under the canonical key, runs the selected engine, and
+// fills the cache. Shared by /v1/containment and /v1/batch.
+func (s *Server) decideContainment(ctx context.Context, body []byte, explain bool) (any, *apiError) {
 	var req containmentRequest
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, errBadRequest("invalid JSON: %v", err)
@@ -126,7 +146,7 @@ func (s *Server) handleContainment(ctx context.Context, body []byte) (any, *apiE
 		return nil, errBadRequest("unknown engine %q (want regex, kore, dtd, or jsonschema)", req.Engine)
 	}
 
-	if !req.Explain {
+	if !explain {
 		if v, ok := s.cache.Get(key); ok {
 			resp := v.(containmentResponse)
 			resp.Cached = true
@@ -134,23 +154,17 @@ func (s *Server) handleContainment(ctx context.Context, body []byte) (any, *apiE
 		}
 	}
 	start := time.Now()
-	out, aerr := runEngine(ctx, func(ctx context.Context) (any, error) {
-		ok, verdict, witness, err := engine(ctx)
-		if err != nil {
-			return nil, err
-		}
-		return containmentResponse{
-			Engine:    req.Engine,
-			Contained: ok,
-			Verdict:   verdict,
-			Witness:   witness,
-			ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
-		}, nil
-	})
-	if aerr != nil {
-		return nil, aerr // timeouts are not cached: the verdict is unknown
+	ok, verdict, witness, err := engine(ctx)
+	if err != nil {
+		return nil, engineError(ctx, err) // timeouts are not cached: the verdict is unknown
 	}
-	resp := out.(containmentResponse)
+	resp := containmentResponse{
+		Engine:    req.Engine,
+		Contained: ok,
+		Verdict:   verdict,
+		Witness:   witness,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	}
 	s.cache.Put(key, resp)
 	return resp, nil
 }
@@ -200,7 +214,13 @@ type membershipResponse struct {
 	Deterministic bool `json:"deterministic"`
 }
 
-func (s *Server) handleMembership(ctx context.Context, body []byte) (any, *apiError) {
+func (s *Server) handleMembership(ctx context.Context, req *request) (any, *apiError) {
+	return runEngine(ctx, req, func(ctx context.Context) (any, *apiError) {
+		return decideMembership(ctx, req.body)
+	})
+}
+
+func decideMembership(_ context.Context, body []byte) (any, *apiError) {
 	var req membershipRequest
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, errBadRequest("invalid JSON: %v", err)
@@ -209,13 +229,11 @@ func (s *Server) handleMembership(ctx context.Context, body []byte) (any, *apiEr
 	if err != nil {
 		return nil, errBadRequest("expr: %v", err)
 	}
-	return runEngine(ctx, func(ctx context.Context) (any, error) {
-		n := automata.Glushkov(e)
-		return membershipResponse{
-			Member:        n.Accepts(req.Word),
-			Deterministic: n.IsDeterministic(),
-		}, nil
-	})
+	n := automata.Glushkov(e)
+	return membershipResponse{
+		Member:        n.Accepts(req.Word),
+		Deterministic: n.IsDeterministic(),
+	}, nil
 }
 
 // ---- POST /v1/validate ----
@@ -251,7 +269,13 @@ type validateResponse struct {
 	Results []validateResult `json:"results"`
 }
 
-func (s *Server) handleValidate(ctx context.Context, body []byte) (any, *apiError) {
+func (s *Server) handleValidate(ctx context.Context, req *request) (any, *apiError) {
+	return runEngine(ctx, req, func(ctx context.Context) (any, *apiError) {
+		return decideValidate(ctx, req.body)
+	})
+}
+
+func decideValidate(ctx context.Context, body []byte) (any, *apiError) {
 	var req validateRequest
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, errBadRequest("invalid JSON: %v", err)
@@ -306,16 +330,14 @@ func (s *Server) handleValidate(ctx context.Context, body []byte) (any, *apiErro
 		return nil, errBadRequest("unknown kind %q (want dtd, edtd, or single-type)", req.Kind)
 	}
 
-	return runEngine(ctx, func(ctx context.Context) (any, error) {
-		resp := validateResponse{Kind: req.Kind, Results: make([]validateResult, len(docs))}
-		for i, t := range docs {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			resp.Results[i] = check(t)
+	resp := validateResponse{Kind: req.Kind, Results: make([]validateResult, len(docs))}
+	for i, t := range docs {
+		if err := ctx.Err(); err != nil {
+			return nil, ctxError(err)
 		}
-		return resp, nil
-	})
+		resp.Results[i] = check(t)
+	}
+	return resp, nil
 }
 
 func buildEDTD(types []edtdTypeJSON, start []string) (*edtd.EDTD, *apiError) {
@@ -363,7 +385,13 @@ type inferResponse struct {
 	Deterministic bool   `json:"deterministic"`
 }
 
-func (s *Server) handleInfer(ctx context.Context, body []byte) (any, *apiError) {
+func (s *Server) handleInfer(ctx context.Context, req *request) (any, *apiError) {
+	return runEngine(ctx, req, func(ctx context.Context) (any, *apiError) {
+		return decideInfer(ctx, req.body)
+	})
+}
+
+func decideInfer(ctx context.Context, body []byte) (any, *apiError) {
 	var req inferRequest
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, errBadRequest("invalid JSON: %v", err)
@@ -377,34 +405,32 @@ func (s *Server) handleInfer(ctx context.Context, body []byte) (any, *apiError) 
 		return nil, errBadRequest("unknown algorithm %q (want sore, chare, kore, or best-kore)", req.Algorithm)
 	}
 	sample := inference.Sample(req.Words)
-	return runEngine(ctx, func(ctx context.Context) (any, error) {
-		var e *regex.Expr
-		k := req.K
-		switch req.Algorithm {
-		case "sore":
-			e = inference.InferSORECtx(ctx, sample)
-		case "chare":
-			e = inference.InferCHARECtx(ctx, sample)
-		case "kore":
-			if k < 1 {
-				k = 2
-			}
-			e = inference.InferKORECtx(ctx, sample, k)
-		case "best-kore":
-			if k < 1 {
-				k = 4
-			}
-			e, k = inference.InferBestKORECtx(ctx, sample, k, func(e *regex.Expr) bool {
-				return automata.Glushkov(e).IsDeterministic()
-			})
+	var e *regex.Expr
+	k := req.K
+	switch req.Algorithm {
+	case "sore":
+		e = inference.InferSORECtx(ctx, sample)
+	case "chare":
+		e = inference.InferCHARECtx(ctx, sample)
+	case "kore":
+		if k < 1 {
+			k = 2
 		}
-		return inferResponse{
-			Algorithm:     req.Algorithm,
-			Expr:          e.String(),
-			K:             k,
-			Deterministic: automata.Glushkov(e).IsDeterministic(),
-		}, nil
-	})
+		e = inference.InferKORECtx(ctx, sample, k)
+	case "best-kore":
+		if k < 1 {
+			k = 4
+		}
+		e, k = inference.InferBestKORECtx(ctx, sample, k, func(e *regex.Expr) bool {
+			return automata.Glushkov(e).IsDeterministic()
+		})
+	}
+	return inferResponse{
+		Algorithm:     req.Algorithm,
+		Expr:          e.String(),
+		K:             k,
+		Deterministic: automata.Glushkov(e).IsDeterministic(),
+	}, nil
 }
 
 // ---- POST /v1/analyze ----
@@ -423,27 +449,44 @@ type analyzeResponse struct {
 	ElapsedMS float64            `json:"elapsed_ms"`
 }
 
-func (s *Server) handleAnalyze(ctx context.Context, body []byte) (any, *apiError) {
-	var req analyzeRequest
-	if err := json.Unmarshal(body, &req); err != nil {
+// handleAnalyze accepts either a JSON body ({"queries": […]}) or — with
+// Content-Type application/x-ndjson or text/plain — a raw query log, one
+// query per line, read through internal/textio and sharded server-side
+// across the core worker pool. In stream mode the options move to the
+// query string: ?name=…&workers=…&deadline_ms=…&explain=true.
+func (s *Server) handleAnalyze(ctx context.Context, req *request) (any, *apiError) {
+	var in analyzeRequest
+	if req.ndjson {
+		queries, err := textio.ReadLines(bytes.NewReader(req.body))
+		if err != nil {
+			return nil, errBadRequest("reading query log: %v", err)
+		}
+		in = analyzeRequest{Name: req.query.Get("name"), Queries: queries}
+		if w, err := strconv.Atoi(req.query.Get("workers")); err == nil {
+			in.Workers = w
+		}
+	} else if err := json.Unmarshal(req.body, &in); err != nil {
 		return nil, errBadRequest("invalid JSON: %v", err)
 	}
-	if len(req.Queries) == 0 {
+	if len(in.Queries) == 0 {
 		return nil, errBadRequest("queries is required")
 	}
-	name := req.Name
+	name := in.Name
 	if name == "" {
 		name = "corpus"
 	}
-	workers := req.Workers
+	workers := in.Workers
 	if workers <= 0 || workers > s.cfg.AnalyzeWorkers {
 		workers = s.cfg.AnalyzeWorkers
 	}
 	start := time.Now()
-	return runEngine(ctx, func(ctx context.Context) (any, error) {
-		rep := core.AnalyzeQueriesCtx(ctx, name, req.Queries, workers)
+	return runEngine(ctx, req, func(ctx context.Context) (any, *apiError) {
+		rep := core.AnalyzeQueriesCtx(ctx, name, in.Queries, workers)
+		if err := ctx.Err(); err != nil {
+			return nil, ctxError(err) // the shards aborted early; the report is partial
+		}
 		return analyzeResponse{
-			Queries:   len(req.Queries),
+			Queries:   len(in.Queries),
 			Workers:   workers,
 			Report:    rep,
 			ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,

@@ -7,6 +7,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -26,23 +31,125 @@ func errBadRequest(format string, args ...any) *apiError {
 	return &apiError{http.StatusBadRequest, fmt.Sprintf(format, args...)}
 }
 
-// ctxError maps a context error to the timeout / client-gone statuses.
+// ctxError maps a context error to its HTTP status. A deadline expiry is
+// the server refusing to work past the requested budget (504); a
+// cancellation means the client went away before the verdict (408,
+// counted separately so timeout metrics stay honest under load tests
+// that abandon connections).
 func ctxError(err error) *apiError {
-	if errors.Is(err, context.DeadlineExceeded) {
-		return &apiError{http.StatusGatewayTimeout, "deadline exceeded"}
+	if errors.Is(err, context.Canceled) {
+		return &apiError{http.StatusRequestTimeout, "client closed request"}
 	}
-	return &apiError{http.StatusGatewayTimeout, "request canceled"}
+	return &apiError{http.StatusGatewayTimeout, "deadline exceeded"}
+}
+
+// engineError maps an error returned by an engine: if the request context
+// has ended, the context outcome wins (the engine was likely interrupted
+// mid-decision); anything else is an internal error.
+func engineError(ctx context.Context, err error) *apiError {
+	if ctx.Err() != nil {
+		return ctxError(ctx.Err())
+	}
+	return &apiError{http.StatusInternalServerError, err.Error()}
+}
+
+// envelope is the shared request envelope: the fields that ride beside
+// every endpoint's specific body. JSON bodies carry them inline; NDJSON
+// streaming bodies are raw query logs, so the envelope moves to the URL
+// query string. The middleware parses it exactly once per request.
+type envelope struct {
+	Explain    bool `json:"explain"`
+	DeadlineMS int  `json:"deadline_ms"`
+}
+
+// request is what the middleware hands every handler: the size-capped
+// body, the envelope (parsed once), whether the body is a line stream
+// rather than a JSON document, the query parameters (the envelope and
+// option carrier in stream mode), and the admission-slot guard.
+type request struct {
+	env    envelope
+	body   []byte
+	ndjson bool
+	query  url.Values
+	slot   *slotGuard
 }
 
 // handlerFunc is an endpoint body: it gets the deadline-bearing context
-// and the raw (already size-capped) request body, and returns either a
-// JSON-marshalable response or an apiError.
-type handlerFunc func(ctx context.Context, body []byte) (any, *apiError)
+// and the parsed request, and returns either a JSON-marshalable response
+// or an apiError.
+type handlerFunc func(ctx context.Context, req *request) (any, *apiError)
+
+// slotGuard owns one admission-semaphore slot. The HTTP goroutine holds
+// it for the life of the request; if the request ends (deadline, client
+// gone) while an engine goroutine is still computing — engines without
+// cancellation checkpoints run to completion — the slot stays held until
+// that goroutine exits. Sustained timeout traffic therefore can never
+// exceed the configured in-flight cap: a server full of detached engines
+// sheds new load with 429 instead of stacking unbounded background work.
+type slotGuard struct {
+	sem      chan struct{}
+	detached *atomic.Int64 // server-wide gauge of engines outliving their request
+
+	mu          sync.Mutex
+	handlerDone bool
+	engines     int // engine goroutines currently running
+	released    bool
+}
+
+// engineStarted registers an engine goroutine about to run. It is called
+// on the request goroutine, before the goroutine spawns, so the count
+// can never be observed low.
+func (g *slotGuard) engineStarted() {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.engines++
+	g.mu.Unlock()
+}
+
+// engineExited releases the slot if this was the last engine of a
+// request whose handler already returned.
+func (g *slotGuard) engineExited() {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.engines--
+	if g.handlerDone {
+		g.detached.Add(-1)
+	}
+	g.maybeReleaseLocked()
+	g.mu.Unlock()
+}
+
+// handlerReturned marks the HTTP goroutine done with the request; any
+// engines still running are now detached and inherit the slot.
+func (g *slotGuard) handlerReturned() {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.handlerDone = true
+	if g.engines > 0 {
+		g.detached.Add(int64(g.engines))
+	}
+	g.maybeReleaseLocked()
+	g.mu.Unlock()
+}
+
+func (g *slotGuard) maybeReleaseLocked() {
+	if !g.released && g.handlerDone && g.engines == 0 {
+		g.released = true
+		<-g.sem
+	}
+}
 
 // endpoint wraps h in the shared middleware stack: admission control,
-// request-size cap, per-request deadline, root span, response rendering
-// (with the span tree merged in for "explain": true), latency histogram,
-// request counter, and a structured access log line.
+// request-size cap, one envelope parse, per-request deadline, root span,
+// response rendering (with the span tree merged in for "explain": true),
+// latency histogram, request/timeout/client-closed counters, and a
+// structured access log line.
 func (s *Server) endpoint(name string, h handlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -52,6 +159,12 @@ func (s *Server) endpoint(name string, h handlerFunc) http.Handler {
 			elapsed := time.Since(start)
 			s.reqTotal.With(name, fmt.Sprintf("%d", code)).Inc()
 			s.latency.With(name).Observe(elapsed.Seconds())
+			switch code {
+			case http.StatusGatewayTimeout:
+				s.timeouts.With(name).Inc()
+			case http.StatusRequestTimeout:
+				s.clientClosed.With(name).Inc()
+			}
 			// path and remote are attacker-controlled: %q-quote them so a
 			// crafted URL cannot inject fake key=value pairs or newlines
 			// into the log stream.
@@ -63,13 +176,14 @@ func (s *Server) endpoint(name string, h handlerFunc) http.Handler {
 		// overloaded server spends no work on requests it will not serve.
 		select {
 		case s.sem <- struct{}{}:
-			defer func() { <-s.sem }()
 		default:
 			s.rejected.With("overload").Inc()
 			code = http.StatusTooManyRequests
 			writeJSON(w, code, map[string]string{"error": "server overloaded, retry later"})
 			return
 		}
+		slot := &slotGuard{sem: s.sem, detached: &s.detached}
+		defer slot.handlerReturned()
 
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 		if err != nil {
@@ -86,7 +200,12 @@ func (s *Server) endpoint(name string, h handlerFunc) http.Handler {
 			return
 		}
 
-		ctx, cancel := context.WithTimeout(r.Context(), s.deadline(body))
+		req := &request{body: body, slot: slot}
+		req.ndjson = streamingBody(r)
+		req.query = r.URL.Query()
+		req.env = parseEnvelope(req)
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.deadline(req.env))
 		defer cancel()
 
 		// Every admitted request runs under a root span: the engines'
@@ -95,31 +214,51 @@ func (s *Server) endpoint(name string, h handlerFunc) http.Handler {
 		ctx, span := s.tracer.StartRoot(ctx, "http."+name)
 		traceID = span.TraceID()
 
-		out, aerr := h(ctx, body)
+		out, aerr := h(ctx, req)
 		span.Finish()
 		if aerr != nil {
 			code = aerr.status
-			if code == http.StatusGatewayTimeout {
-				s.timeouts.With(name).Inc()
-			}
 			writeJSON(w, code, map[string]string{"error": aerr.msg})
 			return
 		}
-		if explainRequested(body) {
+		if req.env.Explain {
 			out = withTrace(out, span.Tree())
 		}
 		writeJSON(w, http.StatusOK, out)
 	})
 }
 
-// explainRequested peeks the optional "explain" field shared by every
-// POST body (like deadline_ms, it lives beside the endpoint-specific
-// fields).
-func explainRequested(body []byte) bool {
-	var peek struct {
-		Explain bool `json:"explain"`
+// streamingBody reports whether the request body is an NDJSON / plain
+// line stream (a raw query log) rather than a JSON document.
+func streamingBody(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
 	}
-	return json.Unmarshal(body, &peek) == nil && peek.Explain
+	switch strings.TrimSpace(strings.ToLower(ct)) {
+	case "application/x-ndjson", "application/ndjson", "text/plain":
+		return true
+	}
+	return false
+}
+
+// parseEnvelope extracts the shared envelope exactly once per request —
+// the handlers receive it instead of re-unmarshaling the body for each
+// shared field, which batch-sized bodies make measurably expensive. A
+// body that fails to parse gets the zero envelope; the handler reports
+// the parse error itself. Stream-mode requests carry the envelope in the
+// query string (?deadline_ms=…&explain=true).
+func parseEnvelope(req *request) envelope {
+	var env envelope
+	if req.ndjson {
+		if v, err := strconv.Atoi(req.query.Get("deadline_ms")); err == nil {
+			env.DeadlineMS = v
+		}
+		env.Explain = req.query.Get("explain") == "true"
+		return env
+	}
+	_ = json.Unmarshal(req.body, &env)
+	return env
 }
 
 // withTrace merges the span tree into the response object under a
@@ -139,17 +278,12 @@ func withTrace(out any, tree *obs.Node) any {
 	return m
 }
 
-// deadline extracts the optional deadline_ms field shared by every POST
-// body, applies the default, and clamps to the configured maximum. A body
-// that fails to parse gets the default; the handler will report the
-// parse error itself.
-func (s *Server) deadline(body []byte) time.Duration {
-	var peek struct {
-		DeadlineMS int `json:"deadline_ms"`
-	}
+// deadline applies the default to the envelope's deadline and clamps to
+// the configured maximum.
+func (s *Server) deadline(env envelope) time.Duration {
 	d := s.cfg.DefaultDeadline
-	if json.Unmarshal(body, &peek) == nil && peek.DeadlineMS > 0 {
-		d = time.Duration(peek.DeadlineMS) * time.Millisecond
+	if env.DeadlineMS > 0 {
+		d = time.Duration(env.DeadlineMS) * time.Millisecond
 	}
 	if d > s.cfg.MaxDeadline {
 		d = s.cfg.MaxDeadline
@@ -159,30 +293,29 @@ func (s *Server) deadline(body []byte) time.Duration {
 
 // runEngine runs f on its own goroutine and waits for either its result
 // or ctx expiry. The decision engines with cancellation checkpoints
-// (regex / k-ORE / DTD containment) return promptly on their own; for
-// engines without checkpoints this still guarantees the HTTP deadline,
-// at the cost of letting the goroutine run to completion in the
-// background; such engines (jsonschema sampling, batch analysis) do work
-// bounded by the request-size cap, so the leak is bounded too.
-func runEngine(ctx context.Context, f func(ctx context.Context) (any, error)) (any, *apiError) {
+// (regex / k-ORE / DTD containment, the sharded analyzer) return promptly
+// on their own; for engines without checkpoints this still guarantees the
+// HTTP deadline. An engine goroutine that outlives its request keeps the
+// admission slot (via req.slot) until it exits, so detached engines count
+// against the in-flight cap instead of silently exceeding it.
+func runEngine(ctx context.Context, req *request, f func(ctx context.Context) (any, *apiError)) (any, *apiError) {
 	type result struct {
-		v   any
-		err error
+		v    any
+		aerr *apiError
 	}
 	done := make(chan result, 1)
+	req.slot.engineStarted()
 	go func() {
-		v, err := f(ctx)
-		done <- result{v, err}
+		defer req.slot.engineExited()
+		v, aerr := f(ctx)
+		done <- result{v, aerr}
 	}()
 	select {
 	case <-ctx.Done():
 		return nil, ctxError(ctx.Err())
 	case res := <-done:
-		if res.err != nil {
-			if ctx.Err() != nil {
-				return nil, ctxError(ctx.Err())
-			}
-			return nil, &apiError{http.StatusInternalServerError, res.err.Error()}
+		if res.aerr != nil {
+			return nil, res.aerr
 		}
 		return res.v, nil
 	}

@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cache"
@@ -108,12 +109,17 @@ type Server struct {
 	sem    chan struct{}
 	tracer *obs.Tracer
 
-	reqTotal *metrics.CounterVec   // endpoint, code
-	latency  *metrics.HistogramVec // endpoint
-	rejected *metrics.CounterVec   // reason
-	timeouts *metrics.CounterVec   // endpoint
-	spanSecs *metrics.HistogramVec // span
-	spanCost *metrics.CounterVec   // span, counter
+	reqTotal     *metrics.CounterVec   // endpoint, code
+	latency      *metrics.HistogramVec // endpoint
+	rejected     *metrics.CounterVec   // reason
+	timeouts     *metrics.CounterVec   // endpoint
+	clientClosed *metrics.CounterVec   // endpoint
+	spanSecs     *metrics.HistogramVec // span
+	spanCost     *metrics.CounterVec   // span, counter
+
+	// detached counts engine goroutines that outlived their request and
+	// still hold their admission slot (see slotGuard).
+	detached atomic.Int64
 }
 
 // New constructs a Server from cfg.
@@ -135,9 +141,14 @@ func New(cfg Config) *Server {
 		"Requests rejected before reaching an engine, by reason.", "reason")
 	s.timeouts = s.reg.CounterVec("rwdserve_timeouts_total",
 		"Requests that exceeded their deadline, by endpoint.", "endpoint")
+	s.clientClosed = s.reg.CounterVec("rwdserve_client_closed_total",
+		"Requests whose client disconnected before the verdict, by endpoint.", "endpoint")
 	s.reg.GaugeFunc("rwdserve_inflight",
 		"Requests currently admitted past the admission gate.",
 		func() float64 { return float64(len(s.sem)) })
+	s.reg.GaugeFunc("rwdserve_detached_engines",
+		"Engine goroutines still computing after their request ended; each holds its admission slot until it exits.",
+		func() float64 { return float64(s.detached.Load()) })
 	s.reg.GaugeFunc("rwdserve_cache_hits_total",
 		"Verdict-cache hits.", func() float64 { return float64(s.cache.Stats().Hits) })
 	s.reg.GaugeFunc("rwdserve_cache_misses_total",
@@ -208,6 +219,7 @@ func New(cfg Config) *Server {
 	s.mux.Handle("POST /v1/validate", s.endpoint("validate", s.handleValidate))
 	s.mux.Handle("POST /v1/infer", s.endpoint("infer", s.handleInfer))
 	s.mux.Handle("POST /v1/analyze", s.endpoint("analyze", s.handleAnalyze))
+	s.mux.Handle("POST /v1/batch", s.endpoint("batch", s.handleBatch))
 	// healthz and metrics bypass admission control: they must answer even
 	// (especially) when the server is saturated.
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
