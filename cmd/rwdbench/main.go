@@ -23,6 +23,15 @@
 //
 // With an empty -serve-url an in-process rwdserve is started on a
 // loopback listener, so a baseline never needs external setup.
+//
+// -automata benchmarks the antichain containment engine against the
+// retained classic eager engine on seeded instance families and writes
+// a BENCH_automata.json baseline (wall time plus the span cost counters
+// states_expanded / product_states / antichain_pruned per engine):
+//
+//	rwdbench -automata [-automata-out BENCH_automata.json] \
+//	         [-automata-blowup-k 14] [-automata-hard-k 10] \
+//	         [-automata-easy-trials 50] [-seed 1]
 package main
 
 import (
@@ -38,6 +47,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/autobench"
 	"repro/internal/core"
 	"repro/internal/edtd"
 	"repro/internal/jsonschema"
@@ -62,8 +72,20 @@ func main() {
 	serveDuration := flag.Duration("serve-duration", 10*time.Second, "sustained-load window for -serve-load")
 	serveConcurrency := flag.Int("serve-concurrency", 8, "concurrent load workers for -serve-load")
 	serveOut := flag.String("serve-out", "BENCH_serve.json", "where -serve-load writes the baseline report")
+	autoBench := flag.Bool("automata", false, "benchmark the antichain vs classic containment engines and write a BENCH_automata.json baseline (skips the paper experiments)")
+	autoOut := flag.String("automata-out", "BENCH_automata.json", "where -automata writes the baseline report")
+	autoBlowupK := flag.Int("automata-blowup-k", 14, "k of the adversarial-blowup family for -automata")
+	autoHardK := flag.Int("automata-hard-k", 10, "k of the antichain-hard family for -automata")
+	autoEasyTrials := flag.Int("automata-easy-trials", 50, "easy-random instance count for -automata")
 	flag.Parse()
 
+	if *autoBench {
+		if err := runAutomataBench(*seed, *autoEasyTrials, *autoBlowupK, *autoHardK, *autoOut); err != nil {
+			fmt.Fprintln(os.Stderr, "rwdbench: automata:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *serveLoad {
 		if err := runServeLoad(*serveURL, *seed, *serveDuration, *serveConcurrency, *serveOut); err != nil {
 			fmt.Fprintln(os.Stderr, "rwdbench: serve-load:", err)
@@ -267,6 +289,41 @@ func runServeLoad(url string, seed int64, duration time.Duration, concurrency in
 		"rwdbench: %d requests in %.1fs — %.0f rps, p50 %.2fms, p99 %.2fms, cache hit rate %.1f%%, %d timeouts -> %s\n",
 		rep.Requests, rep.DurationSeconds, rep.RPS,
 		rep.LatencyMS.P50, rep.LatencyMS.P99, 100*rep.Cache.HitRate, rep.Timeouts, out)
+	return nil
+}
+
+// runAutomataBench runs the engine comparison families and writes the
+// committed baseline.
+func runAutomataBench(seed int64, easyTrials, blowupK, hardK int, out string) error {
+	fmt.Fprintf(os.Stderr, "rwdbench: comparing containment engines (seed %d, blowup k=%d, hard k=%d, %d easy pairs) …\n",
+		seed, blowupK, hardK, easyTrials)
+	rep, err := autobench.Run(autobench.Config{
+		Seed:       seed,
+		EasyTrials: easyTrials,
+		BlowupK:    blowupK,
+		HardK:      hardK,
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := autobench.WriteJSON(f, rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	for _, fam := range rep.Families {
+		fmt.Fprintf(os.Stderr,
+			"rwdbench: %-20s antichain %8d states %8.1fms | classic %8d states %8.1fms | ratio %.1fx\n",
+			fam.Family, fam.Antichain.StatesExpanded, fam.Antichain.WallMS,
+			fam.Classic.StatesExpanded, fam.Classic.WallMS, fam.StatesExpandedRatio)
+	}
+	fmt.Fprintf(os.Stderr, "rwdbench: baseline -> %s\n", out)
 	return nil
 }
 

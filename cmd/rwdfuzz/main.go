@@ -9,6 +9,8 @@
 //
 //	rwdfuzz -seed 1 -budget 60s                 # all oracles, 60s each
 //	rwdfuzz -oracle regex-membership -budget 5m # one oracle
+//	rwdfuzz -oracle antichain-containment -trials 10000
+//	                                            # exact trial count (CI)
 //	rwdfuzz -oracle regex-membership -replay 17 # rerun one trial
 //	rwdfuzz -list                               # list oracles
 //	rwdfuzz -inject regex-membership ...        # deliberate bug, for
@@ -29,6 +31,7 @@ func main() {
 	var (
 		seed    = flag.Int64("seed", 1, "base trial seed; trial i uses seed+i")
 		budget  = flag.Duration("budget", 10*time.Second, "time budget per oracle")
+		trials  = flag.Int("trials", 0, "run exactly this many trials per oracle instead of a time budget")
 		names   = flag.String("oracle", "all", "comma-separated oracle names, or 'all'")
 		replay  = flag.Int64("replay", -1, "replay a single trial seed (requires exactly one -oracle)")
 		inject  = flag.String("inject", "", "deliberately mutate one implementation of the named oracle")
@@ -74,7 +77,12 @@ func main() {
 
 	found := 0
 	for _, o := range oracles {
-		st := oracle.Run(o, *seed, *budget, *maxDivs)
+		var st *oracle.Stats
+		if *trials > 0 {
+			st = oracle.RunTrials(o, *seed, *trials, *maxDivs)
+		} else {
+			st = oracle.Run(o, *seed, *budget, *maxDivs)
+		}
 		fmt.Fprintf(os.Stderr, "rwdfuzz: %-24s %6d trials in %v, %d divergences\n",
 			o.Name(), st.Trials, st.Elapsed.Round(time.Millisecond), len(st.Divergences))
 		for _, d := range st.Divergences {

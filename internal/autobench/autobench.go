@@ -1,0 +1,226 @@
+// Package autobench benchmarks the two containment engines — the lazy
+// antichain engine (the production path of automata.ContainsCtx) and
+// the retained classic eager-determinization engine — on seeded
+// instance families, and distills the comparison into a committed
+// machine-readable baseline (BENCH_automata.json).
+//
+// Three families are measured:
+//
+//   - easy-random: small seeded random pairs, the regime real schemas
+//     live in (Section 4.2 of the paper); both engines are instant and
+//     the numbers pin the bookkeeping overhead.
+//   - adversarial-blowup: self-containment of (a|b)* a (a|b)^k, where
+//     eager determinization materializes 2^(k+1) subset states but the
+//     antichain order collapses the lazy search — the headline
+//     states_expanded ratio.
+//   - antichain-hard: self-containment of the window-equality family
+//     (automata.AntichainHardExpr), where the subset-states are pairwise
+//     ⊆-incomparable and pruning never fires — the honest worst case
+//     both engines pay exponentially for.
+//
+// Costs are read from the span cost counters (internal/obs), not timers
+// alone, so the baseline is stable across machines.
+package autobench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/automata"
+	"repro/internal/obs"
+	"repro/internal/regex"
+)
+
+// SchemaVersion identifies the report layout for downstream tooling
+// (the CI jq checks pin it).
+const SchemaVersion = 1
+
+// Config parameterizes a run.
+type Config struct {
+	// Seed drives the easy-random instance generator.
+	Seed int64
+	// EasyTrials is the number of easy-random pairs (default 50).
+	EasyTrials int
+	// BlowupK is the k of the adversarial-blowup family (default 14).
+	BlowupK int
+	// HardK is the k of the antichain-hard family (default 10).
+	HardK int
+}
+
+func (c *Config) fill() {
+	if c.EasyTrials <= 0 {
+		c.EasyTrials = 50
+	}
+	if c.BlowupK <= 0 {
+		c.BlowupK = 14
+	}
+	if c.HardK <= 0 {
+		c.HardK = 10
+	}
+}
+
+// EngineCost aggregates one engine's cost over a family's instances.
+type EngineCost struct {
+	WallMS          float64 `json:"wall_ms"`
+	StatesExpanded  int64   `json:"states_expanded"`
+	ProductStates   int64   `json:"product_states"`
+	AntichainPruned int64   `json:"antichain_pruned"`
+	TrueVerdicts    int     `json:"true_verdicts"`
+}
+
+// FamilyReport is the per-family comparison.
+type FamilyReport struct {
+	Family    string `json:"family"`
+	Instances int    `json:"instances"`
+	// Params echoes the family knobs (k, trials) for reproducibility.
+	Params    map[string]int         `json:"params,omitempty"`
+	Antichain EngineCost             `json:"antichain"`
+	Classic   EngineCost             `json:"classic"`
+	// StatesExpandedRatio is classic/antichain states_expanded — the
+	// quantity the antichain engine exists to improve.
+	StatesExpandedRatio float64 `json:"states_expanded_ratio"`
+}
+
+// Report is the whole baseline.
+type Report struct {
+	SchemaVersion int             `json:"schema_version"`
+	Seed          int64           `json:"seed"`
+	Families      []*FamilyReport `json:"families"`
+}
+
+type instance struct{ e1, e2 *regex.Expr }
+
+// Run executes the three families and returns the report.
+func Run(cfg Config) (*Report, error) {
+	cfg.fill()
+	rep := &Report{SchemaVersion: SchemaVersion, Seed: cfg.Seed}
+
+	easy, err := easyInstances(cfg.Seed, cfg.EasyTrials)
+	if err != nil {
+		return nil, err
+	}
+	fams := []struct {
+		name      string
+		params    map[string]int
+		instances []instance
+	}{
+		{"easy-random", map[string]int{"trials": cfg.EasyTrials}, easy},
+		{"adversarial-blowup", map[string]int{"k": cfg.BlowupK},
+			[]instance{selfInstance(blowupExpr(cfg.BlowupK))}},
+		{"antichain-hard", map[string]int{"k": cfg.HardK},
+			[]instance{selfInstance(regex.MustParse(automata.AntichainHardExpr(cfg.HardK)))}},
+	}
+	for _, f := range fams {
+		fr, err := runFamily(f.name, f.params, f.instances)
+		if err != nil {
+			return nil, err
+		}
+		rep.Families = append(rep.Families, fr)
+	}
+	return rep, nil
+}
+
+func selfInstance(e *regex.Expr) instance { return instance{e, e} }
+
+// blowupExpr is (a|b)* a (a|b)^k.
+func blowupExpr(k int) *regex.Expr {
+	src := "(a|b)* a"
+	for i := 0; i < k; i++ {
+		src += " (a|b)"
+	}
+	return regex.MustParse(src)
+}
+
+func easyInstances(seed int64, trials int) ([]instance, error) {
+	r := rand.New(rand.NewSource(seed))
+	g := regex.DefaultGen([]string{"a", "b"})
+	g.MaxDepth = 3
+	g.MaxFanout = 3
+	var out []instance
+	for len(out) < trials {
+		e1, e2 := g.Random(r), g.Random(r)
+		if automata.Glushkov(e1).NumStates > 10 || automata.Glushkov(e2).NumStates > 10 {
+			continue // keep the classic side's eager determinization small
+		}
+		out = append(out, instance{e1, e2})
+	}
+	return out, nil
+}
+
+// runFamily runs every instance through both engines under tracing and
+// aggregates the span cost counters.
+func runFamily(name string, params map[string]int, instances []instance) (*FamilyReport, error) {
+	fr := &FamilyReport{Family: name, Instances: len(instances), Params: params}
+	for _, in := range instances {
+		anti, err := measure(in, func(ctx context.Context, in instance) (bool, error) {
+			return automata.ContainsCtx(ctx, in.e1, in.e2)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: antichain: %w", name, err)
+		}
+		classic, err := measure(in, func(ctx context.Context, in instance) (bool, error) {
+			return automata.ContainsClassicCtx(ctx, in.e1, in.e2)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: classic: %w", name, err)
+		}
+		if anti.TrueVerdicts != classic.TrueVerdicts {
+			return nil, fmt.Errorf("%s: engines disagree on %s vs %s", name, in.e1, in.e2)
+		}
+		addCost(&fr.Antichain, anti)
+		addCost(&fr.Classic, classic)
+	}
+	if fr.Antichain.StatesExpanded > 0 {
+		fr.StatesExpandedRatio = float64(fr.Classic.StatesExpanded) / float64(fr.Antichain.StatesExpanded)
+	}
+	return fr, nil
+}
+
+func measure(in instance, engine func(context.Context, instance) (bool, error)) (*EngineCost, error) {
+	tr := &obs.Tracer{}
+	ctx, root := tr.StartRoot(context.Background(), "autobench")
+	start := time.Now()
+	ok, err := engine(ctx, in)
+	wall := time.Since(start)
+	root.Finish()
+	if err != nil {
+		return nil, err
+	}
+	c := &EngineCost{WallMS: float64(wall.Microseconds()) / 1000}
+	if ok {
+		c.TrueVerdicts = 1
+	}
+	sumCounters(root.Tree(), c)
+	return c, nil
+}
+
+// sumCounters folds the whole span tree: the classic engine accounts
+// states_expanded on its determinize child, the antichain engine on its
+// own span, so summing over the tree makes the two comparable.
+func sumCounters(n *obs.Node, c *EngineCost) {
+	c.StatesExpanded += n.Counters["states_expanded"]
+	c.ProductStates += n.Counters["product_states"]
+	c.AntichainPruned += n.Counters["antichain_pruned"]
+	for _, ch := range n.Children {
+		sumCounters(ch, c)
+	}
+}
+
+func addCost(dst *EngineCost, src *EngineCost) {
+	dst.WallMS += src.WallMS
+	dst.StatesExpanded += src.StatesExpanded
+	dst.ProductStates += src.ProductStates
+	dst.AntichainPruned += src.AntichainPruned
+	dst.TrueVerdicts += src.TrueVerdicts
+}
+
+// WriteJSON renders the report as indented JSON.
+func WriteJSON(w io.Writer, rep *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

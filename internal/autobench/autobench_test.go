@@ -1,0 +1,87 @@
+package autobench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestRunProducesComparableBaseline runs the three families at reduced
+// size and pins the report invariants the committed baseline and the CI
+// jq checks rely on: schema version, all families present, nonzero
+// costs, and a >= 10x states_expanded reduction on the blowup family.
+func TestRunProducesComparableBaseline(t *testing.T) {
+	rep, err := Run(Config{Seed: 1, EasyTrials: 10, BlowupK: 10, HardK: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != SchemaVersion {
+		t.Fatalf("schema_version = %d, want %d", rep.SchemaVersion, SchemaVersion)
+	}
+	byName := map[string]*FamilyReport{}
+	for _, f := range rep.Families {
+		byName[f.Family] = f
+	}
+	for _, name := range []string{"easy-random", "adversarial-blowup", "antichain-hard"} {
+		f := byName[name]
+		if f == nil {
+			t.Fatalf("family %s missing from report", name)
+		}
+		if f.Antichain.StatesExpanded == 0 || f.Classic.StatesExpanded == 0 {
+			t.Fatalf("%s: zero states_expanded (antichain=%d classic=%d)",
+				name, f.Antichain.StatesExpanded, f.Classic.StatesExpanded)
+		}
+		if f.Antichain.ProductStates == 0 || f.Classic.ProductStates == 0 {
+			t.Fatalf("%s: zero product_states", name)
+		}
+	}
+	blow := byName["adversarial-blowup"]
+	if blow.StatesExpandedRatio < 10 {
+		t.Fatalf("blowup states_expanded_ratio = %.1f, want >= 10", blow.StatesExpandedRatio)
+	}
+	if blow.Antichain.AntichainPruned == 0 {
+		t.Fatal("blowup family: antichain_pruned = 0, want > 0")
+	}
+	if blow.Antichain.TrueVerdicts != 1 || blow.Classic.TrueVerdicts != 1 {
+		t.Fatalf("blowup self-containment verdicts = (%d, %d), want (1, 1)",
+			blow.Antichain.TrueVerdicts, blow.Classic.TrueVerdicts)
+	}
+
+	// the report must round-trip as JSON with the committed field names
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["schema_version"]; !ok {
+		t.Fatalf("serialized report lacks schema_version: %s", buf.String())
+	}
+	fams, ok := raw["families"].([]any)
+	if !ok || len(fams) != 3 {
+		t.Fatalf("serialized families = %v", raw["families"])
+	}
+}
+
+// TestRunDeterministic pins seed-reproducibility of the counter totals
+// (wall times vary; the counters must not).
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(Config{Seed: 7, EasyTrials: 8, BlowupK: 8, HardK: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Seed: 7, EasyTrials: 8, BlowupK: 8, HardK: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Families {
+		fa, fb := a.Families[i], b.Families[i]
+		if fa.Antichain.StatesExpanded != fb.Antichain.StatesExpanded ||
+			fa.Classic.StatesExpanded != fb.Classic.StatesExpanded ||
+			fa.Antichain.AntichainPruned != fb.Antichain.AntichainPruned {
+			t.Fatalf("%s: counters differ across identical runs", fa.Family)
+		}
+	}
+}

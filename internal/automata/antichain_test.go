@@ -1,0 +1,225 @@
+package automata
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/regex"
+)
+
+// TestAntichainAgreesWithClassicRandom differentially tests the
+// antichain engine against the retained classic engine on seeded random
+// expression pairs, in both directions, plus the derived equivalence.
+// The dedicated oracle (internal/oracle/antichain.go) runs the same
+// comparison at fuzzing scale; this is the always-on regression net.
+func TestAntichainAgreesWithClassicRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	g := regex.DefaultGen([]string{"a", "b"})
+	g.MaxDepth = 3
+	g.MaxFanout = 3
+	for trial := 0; trial < 400; trial++ {
+		e1, e2 := g.Random(r), g.Random(r)
+		if Glushkov(e1).NumStates > 10 || Glushkov(e2).NumStates > 10 {
+			continue // the classic side determinizes eagerly; keep it cheap
+		}
+		for _, dir := range [][2]*regex.Expr{{e1, e2}, {e2, e1}} {
+			want := ContainsClassic(dir[0], dir[1])
+			got, err := ContainsCtx(context.Background(), dir[0], dir[1])
+			if err != nil {
+				t.Fatalf("ContainsCtx(%s, %s): %v", dir[0], dir[1], err)
+			}
+			if got != want {
+				t.Fatalf("antichain Contains(%s, %s) = %v, classic = %v",
+					dir[0], dir[1], got, want)
+			}
+		}
+	}
+}
+
+// TestAntichainKnownFamilies pins the engine on the two calibrated
+// adversarial families at small k, where the expected verdicts are
+// known analytically.
+func TestAntichainKnownFamilies(t *testing.T) {
+	all := regex.MustParse("(a|b)*")
+	for k := 1; k <= 8; k++ {
+		blow := adversarialRight(k)
+		if ok, _ := ContainsCtx(context.Background(), all, blow); ok {
+			t.Fatalf("(a|b)* ⊆ blowup(%d) = true, want false", k)
+		}
+		if ok, _ := ContainsCtx(context.Background(), blow, all); !ok {
+			t.Fatalf("blowup(%d) ⊆ (a|b)* = false, want true", k)
+		}
+		if ok, _ := ContainsCtx(context.Background(), blow, blow); !ok {
+			t.Fatalf("blowup(%d) self-containment = false, want true", k)
+		}
+	}
+	for k := 1; k <= 6; k++ {
+		hard := regex.MustParse(AntichainHardExpr(k))
+		if ok, _ := ContainsCtx(context.Background(), hard, hard); !ok {
+			t.Fatalf("hard(%d) self-containment = false, want true", k)
+		}
+		// Different window lengths disagree on short words: a word of
+		// length k+2 is in hard(k) but too short for hard(k+1).
+		next := regex.MustParse(AntichainHardExpr(k + 1))
+		if ok, _ := ContainsCtx(context.Background(), hard, next); ok {
+			t.Fatalf("hard(%d) ⊆ hard(%d) = true, want false", k, k+1)
+		}
+	}
+}
+
+// TestAntichainPruningBeatsClassic runs blowup-family self-containment
+// under tracing on both engines and checks the acceptance ratio: the
+// lazy engine must expand at least 10× fewer subset-states than the
+// eager determinization. (rwdbench -automata measures the same ratio at
+// larger k for the committed BENCH_automata.json.)
+func TestAntichainPruningBeatsClassic(t *testing.T) {
+	e := adversarialRight(10)
+
+	run := func(f func(context.Context) error) *obs.Node {
+		tr := &obs.Tracer{}
+		ctx, root := tr.StartRoot(context.Background(), "test")
+		if err := f(ctx); err != nil {
+			t.Fatal(err)
+		}
+		root.Finish()
+		return root.Tree()
+	}
+	sum := func(n *obs.Node, counter string) (total int64) {
+		var walk func(*obs.Node)
+		walk = func(n *obs.Node) {
+			total += n.Counters[counter]
+			for _, c := range n.Children {
+				walk(c)
+			}
+		}
+		walk(n)
+		return total
+	}
+
+	lazyTree := run(func(ctx context.Context) error {
+		ok, err := ContainsCtx(ctx, e, e)
+		if err == nil && !ok {
+			t.Fatal("self-containment = false")
+		}
+		return err
+	})
+	classicTree := run(func(ctx context.Context) error {
+		ok, err := ContainsClassicCtx(ctx, e, e)
+		if err == nil && !ok {
+			t.Fatal("classic self-containment = false")
+		}
+		return err
+	})
+
+	lazy := sum(lazyTree, "states_expanded")
+	classic := sum(classicTree, "states_expanded")
+	if lazy == 0 || classic == 0 {
+		t.Fatalf("states_expanded: lazy=%d classic=%d, want both > 0", lazy, classic)
+	}
+	if classic < 10*lazy {
+		t.Fatalf("states_expanded: lazy=%d classic=%d, want >= 10x reduction", lazy, classic)
+	}
+	if pruned := sum(lazyTree, "antichain_pruned"); pruned == 0 {
+		t.Fatal("antichain_pruned = 0, want > 0 on the blowup family")
+	}
+}
+
+// TestAntichainEdgeCases covers the determinized sink, ε, empty
+// languages, and label sets that differ across the two sides — the
+// places where a packed-transition-table engine can go wrong.
+func TestAntichainEdgeCases(t *testing.T) {
+	cases := []struct {
+		e1, e2 *regex.Expr
+		want   bool
+		name   string
+	}{
+		{regex.MustParse("a?"), regex.MustParse("a"), false, "ε counterexample at the initial pair"},
+		{regex.MustParse("a"), regex.MustParse("a?"), true, "nullable superset"},
+		{regex.NewEpsilon(), regex.MustParse("a*"), true, "ε ⊆ a*"},
+		{regex.NewEmpty(), regex.MustParse("a"), true, "∅ ⊆ anything"},
+		{regex.MustParse("a"), regex.NewEmpty(), false, "nonempty ⊄ ∅"},
+		{regex.MustParse("a"), regex.MustParse("b"), false, "left label unknown to the right side"},
+		{regex.MustParse("a"), regex.MustParse("a|b"), true, "right label unknown to the left side"},
+		{regex.MustParse("a b c"), regex.MustParse("a b"), false, "run into the sink set"},
+		{regex.MustParse("(a b)*"), regex.MustParse("(a|b)*"), true, "star nesting"},
+	}
+	for _, c := range cases {
+		got, err := ContainsCtx(context.Background(), c.e1, c.e2)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got != c.want {
+			t.Fatalf("%s: Contains(%s, %s) = %v, want %v", c.name, c.e1, c.e2, got, c.want)
+		}
+		if want := ContainsClassic(c.e1, c.e2); want != c.want {
+			t.Fatalf("%s: classic engine disagrees with the table (%v)", c.name, want)
+		}
+	}
+}
+
+// TestIntersectionWitnessAllocBound is the regression test for the BFS
+// queue rewrite in IntersectionWitnessCtx: the old implementation
+// copied the whole witness word into every queue item (quadratic bytes
+// in the witness length) and popped with queue = queue[1:], pinning the
+// backing array. On a chain instance with a witness of length n the fix
+// keeps total allocation linear; the old code allocated > n²/2 * 16
+// bytes in word copies alone (~18 MB at n=1500), so an 8 MB bound
+// separates them cleanly.
+func TestIntersectionWitnessAllocBound(t *testing.T) {
+	const n = 1500
+	e := regex.MustParse(strings.TrimSpace(strings.Repeat("a ", n)))
+	es := []*regex.Expr{e, regex.MustParse("a*")}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	w, ok, err := IntersectionWitnessCtx(context.Background(), es...)
+	runtime.ReadMemStats(&after)
+	if err != nil || !ok {
+		t.Fatalf("witness = %v, %v", ok, err)
+	}
+	if len(w) != n {
+		t.Fatalf("witness length = %d, want %d", len(w), n)
+	}
+	if alloc := after.TotalAlloc - before.TotalAlloc; alloc > 8<<20 {
+		t.Fatalf("allocated %d bytes for a length-%d witness, want <= 8 MB", alloc, n)
+	}
+}
+
+// BenchmarkAntichainHard measures the engine on the family its pruning
+// cannot help with — the honest worst case.
+func BenchmarkAntichainHard(b *testing.B) {
+	hard := regex.MustParse(AntichainHardExpr(8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := ContainsCtx(context.Background(), hard, hard)
+		if err != nil || !ok {
+			b.Fatalf("self-containment = %v, %v", ok, err)
+		}
+	}
+}
+
+// BenchmarkAntichainVsClassicBlowup reports both engines on the same
+// pruning-friendly instance for paired comparison via -bench.
+func BenchmarkAntichainVsClassicBlowup(b *testing.B) {
+	e := adversarialRight(12)
+	b.Run(fmt.Sprintf("antichain/k=%d", 12), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ok, err := ContainsCtx(context.Background(), e, e); err != nil || !ok {
+				b.Fatalf("= %v, %v", ok, err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("classic/k=%d", 12), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ok, err := ContainsClassicCtx(context.Background(), e, e); err != nil || !ok {
+				b.Fatalf("= %v, %v", ok, err)
+			}
+		}
+	})
+}

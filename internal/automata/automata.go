@@ -502,11 +502,15 @@ func (d *DFA) ToNFA() *NFA {
 	return n
 }
 
-// Contains reports whether L(e1) ⊆ L(e2), deciding via
-// L(e1) ∩ complement(L(e2)) = ∅ with an on-the-fly product of the Glushkov
-// NFA of e1 with the determinized complement of e2. This is the general
-// (PSPACE-complete, Section 4.2.2) decision procedure; package chare provides
-// the polynomial-time algorithms for the fragments of Theorem 4.4.
+// Contains reports whether L(e1) ⊆ L(e2), deciding
+// L(e1) ∩ complement(L(e2)) = ∅ with the antichain engine of
+// antichain.go: a lazy product of the Glushkov NFA of e1 with the
+// on-the-fly subset automaton of e2 over interned bitsets, pruned by
+// subsumption. This is the general (PSPACE-complete, Section 4.2.2)
+// decision procedure — the problem stays exponential in the worst case,
+// the engine just reaches it far later; ContainsClassic retains the
+// eager textbook construction, and package chare provides the
+// polynomial-time algorithms for the fragments of Theorem 4.4.
 func Contains(e1, e2 *regex.Expr) bool {
 	ok, _ := ContainsCtx(context.Background(), e1, e2)
 	return ok
@@ -517,12 +521,12 @@ func Equivalent(e1, e2 *regex.Expr) bool {
 	return Contains(e1, e2) && Contains(e2, e1)
 }
 
-// NFAContains reports whether L(n1) ⊆ L(e2), with the same on-the-fly
-// product-with-complement construction as Contains. The NFA form lets
-// callers pre-restrict the left language (e.g. DTD containment restricts
-// content models to realizable labels before comparing).
+// NFAContains reports whether L(n1) ⊆ L(e2), with the same antichain
+// construction as Contains. The NFA form lets callers pre-restrict the
+// left language (e.g. DTD containment restricts content models to
+// realizable labels before comparing).
 func NFAContains(n1 *NFA, e2 *regex.Expr) bool {
-	ok, _ := nfaContainsCtx(context.Background(), n1, e2)
+	ok, _ := NFAContainsCtx(context.Background(), n1, e2)
 	return ok
 }
 

@@ -1,0 +1,236 @@
+package bitset
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// modelSet is the map-backed reference model the StateSet operations
+// are cross-checked against.
+type modelSet map[int]bool
+
+func randomPair(r *rand.Rand, n int) (StateSet, modelSet) {
+	s, m := New(n), modelSet{}
+	for i := 0; i < n; i++ {
+		if r.Intn(3) == 0 {
+			s.Add(i)
+			m[i] = true
+		}
+	}
+	return s, m
+}
+
+func agree(t *testing.T, s StateSet, m modelSet, n int, what string) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if s.Has(i) != m[i] {
+			t.Fatalf("%s: Has(%d) = %v, model = %v", what, i, s.Has(i), m[i])
+		}
+	}
+	if s.Len() != len(m) {
+		t.Fatalf("%s: Len = %d, model = %d", what, s.Len(), len(m))
+	}
+}
+
+// TestStateSetOpsAgainstModel drives union/intersect/subset/iterate on
+// randomized universes (including word-boundary sizes) against the map
+// model.
+func TestStateSetOpsAgainstModel(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 7, 63, 64, 65, 128, 200} {
+		for trial := 0; trial < 200; trial++ {
+			a, ma := randomPair(r, n)
+			b, mb := randomPair(r, n)
+			agree(t, a, ma, n, "a")
+			agree(t, b, mb, n, "b")
+
+			// subset / intersects / equal vs model
+			wantSub := true
+			for i := range ma {
+				if !mb[i] {
+					wantSub = false
+				}
+			}
+			if a.SubsetOf(b) != wantSub {
+				t.Fatalf("n=%d SubsetOf = %v, model = %v (a=%v b=%v)",
+					n, a.SubsetOf(b), wantSub, a.Members(), b.Members())
+			}
+			wantInter := false
+			for i := range ma {
+				if mb[i] {
+					wantInter = true
+				}
+			}
+			if a.Intersects(b) != wantInter {
+				t.Fatalf("n=%d Intersects = %v, model = %v", n, a.Intersects(b), wantInter)
+			}
+			wantEq := len(ma) == len(mb) && wantSub
+			if a.Equal(b) != wantEq {
+				t.Fatalf("n=%d Equal = %v, model = %v", n, a.Equal(b), wantEq)
+			}
+
+			// union
+			u, mu := a.Clone(), modelSet{}
+			u.UnionWith(b)
+			for i := range ma {
+				mu[i] = true
+			}
+			for i := range mb {
+				mu[i] = true
+			}
+			agree(t, u, mu, n, "union")
+			if !a.SubsetOf(u) || !b.SubsetOf(u) {
+				t.Fatalf("n=%d union is not an upper bound", n)
+			}
+
+			// intersection
+			x, mx := a.Clone(), modelSet{}
+			x.IntersectWith(b)
+			for i := range ma {
+				if mb[i] {
+					mx[i] = true
+				}
+			}
+			agree(t, x, mx, n, "intersect")
+			if !x.SubsetOf(a) || !x.SubsetOf(b) {
+				t.Fatalf("n=%d intersection is not a lower bound", n)
+			}
+			if x.Empty() != (len(mx) == 0) {
+				t.Fatalf("n=%d Empty = %v, model = %v", n, x.Empty(), len(mx) == 0)
+			}
+
+			// iteration order and content
+			var got []int
+			a.ForEach(func(i int) { got = append(got, i) })
+			for j := 1; j < len(got); j++ {
+				if got[j-1] >= got[j] {
+					t.Fatalf("n=%d ForEach out of order: %v", n, got)
+				}
+			}
+			if len(got) != len(ma) {
+				t.Fatalf("n=%d ForEach visited %d members, model has %d", n, len(got), len(ma))
+			}
+			for _, i := range got {
+				if !ma[i] {
+					t.Fatalf("n=%d ForEach visited non-member %d", n, i)
+				}
+			}
+		}
+	}
+}
+
+// TestInternerCanonicalizes pins hash-consing: structurally equal sets
+// built in different insertion orders get the same id, distinct sets
+// get distinct ids, and Set(id) round-trips.
+func TestInternerCanonicalizes(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	const n = 150
+	in := NewInterner(n)
+	ids := map[string]int{}
+	keyOf := func(s StateSet) string {
+		b := make([]byte, 0, len(s)*8)
+		for _, w := range s {
+			for i := 0; i < 8; i++ {
+				b = append(b, byte(w>>uint(8*i)))
+			}
+		}
+		return string(b)
+	}
+	for trial := 0; trial < 500; trial++ {
+		s, _ := randomPair(r, n)
+		id, fresh := in.Intern(s)
+		if prev, seen := ids[keyOf(s)]; seen {
+			if fresh || id != prev {
+				t.Fatalf("equal set re-interned as id %d (fresh=%v), want %d", id, fresh, prev)
+			}
+		} else {
+			if !fresh {
+				t.Fatalf("new set reported fresh=false (id %d)", id)
+			}
+			ids[keyOf(s)] = id
+		}
+		if !in.Set(id).Equal(s) {
+			t.Fatalf("Set(%d) does not round-trip", id)
+		}
+		// mutating the caller's set must not corrupt the interned copy
+		s.Add(trial % n)
+		s2 := in.Set(id)
+		if got := keyOf(s2); got != keyOf(s2.Clone()) {
+			t.Fatal("interned set aliased caller scratch")
+		}
+	}
+	if in.Len() != len(ids) {
+		t.Fatalf("interner Len = %d, distinct sets = %d", in.Len(), len(ids))
+	}
+	// shuffled rebuilds of a known set hit the same id
+	base := New(n)
+	for _, i := range []int{3, 64, 65, 149} {
+		base.Add(i)
+	}
+	want, _ := in.Intern(base)
+	for trial := 0; trial < 20; trial++ {
+		s := New(n)
+		for _, i := range r.Perm(4) {
+			s.Add([]int{3, 64, 65, 149}[i])
+		}
+		if id, fresh := in.Intern(s); id != want || fresh {
+			t.Fatalf("shuffled rebuild interned as %d (fresh=%v), want %d", id, fresh, want)
+		}
+	}
+}
+
+// TestInternerConcurrent hammers one interner from many goroutines with
+// overlapping sets; run under -race. Every goroutine records the ids it
+// got, and equal sets must have resolved to equal ids across all of
+// them.
+func TestInternerConcurrent(t *testing.T) {
+	const (
+		n          = 90
+		goroutines = 8
+		perG       = 400
+		universe   = 64 // distinct set shapes, deliberately colliding across goroutines
+	)
+	in := NewInterner(n)
+	shape := func(k int) StateSet {
+		s := New(n)
+		for i := 0; i < n; i++ {
+			if (i*(k+1))%7 == 0 || i == k {
+				s.Add(i)
+			}
+		}
+		return s
+	}
+	got := make([]map[int]int, goroutines) // shape -> id per goroutine
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g)))
+			got[g] = map[int]int{}
+			for i := 0; i < perG; i++ {
+				k := r.Intn(universe)
+				id, _ := in.Intern(shape(k))
+				if prev, ok := got[g][k]; ok && prev != id {
+					t.Errorf("goroutine %d: shape %d interned as both %d and %d", g, k, prev, id)
+					return
+				}
+				got[g][k] = id
+			}
+		}(g)
+	}
+	wg.Wait()
+	canon := map[int]int{}
+	for g := range got {
+		for k, id := range got[g] {
+			if prev, ok := canon[k]; ok && prev != id {
+				t.Fatalf("shape %d has ids %d and %d across goroutines", k, prev, id)
+			}
+			canon[k] = id
+		}
+	}
+	if in.Len() > universe {
+		t.Fatalf("interner holds %d sets, only %d distinct shapes exist", in.Len(), universe)
+	}
+}

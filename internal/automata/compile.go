@@ -1,0 +1,109 @@
+package automata
+
+// Compiled automaton form for the engine hot loops: labels are interned
+// to dense ints once per decision, transitions live in flat arrays
+// indexed [state][labelID], and each (state, label) successor set is
+// additionally precomputed as a word-packed bitset mask, so a subset
+// construction step is a handful of word ORs instead of map lookups and
+// sorted-slice merges.
+
+import "repro/internal/automata/bitset"
+
+// labelTable interns transition labels across the automata of one
+// decision, so both sides of a containment check agree on label ids.
+type labelTable struct {
+	ids   map[string]int
+	names []string
+}
+
+func newLabelTable() *labelTable {
+	return &labelTable{ids: map[string]int{}}
+}
+
+// id returns the dense id of a, allocating one on first sight.
+func (t *labelTable) id(a string) int {
+	if id, ok := t.ids[a]; ok {
+		return id
+	}
+	id := len(t.names)
+	t.ids[a] = id
+	t.names = append(t.names, a)
+	return id
+}
+
+// add interns every label of n.
+func (t *labelTable) add(n *NFA) {
+	for _, a := range n.Alphabet {
+		t.id(a)
+	}
+}
+
+func (t *labelTable) len() int { return len(t.names) }
+
+// compiledNFA is an NFA lowered onto the label table: trans[q][l] is
+// the successor list of state q on label l (nil when absent), mask[q][l]
+// is the same set word-packed, and final is the final-state bitset.
+type compiledNFA struct {
+	numStates int
+	labels    *labelTable
+	trans     [][][]int
+	mask      [][]bitset.StateSet
+	initial   []int
+	final     bitset.StateSet
+}
+
+// compileNFA lowers n onto the shared label table. Labels in the table
+// but absent from n simply have nil successor rows, which the engines
+// treat as a transition into the empty set.
+func compileNFA(n *NFA, labels *labelTable) *compiledNFA {
+	labels.add(n)
+	c := &compiledNFA{
+		numStates: n.NumStates,
+		labels:    labels,
+		trans:     make([][][]int, n.NumStates),
+		mask:      make([][]bitset.StateSet, n.NumStates),
+		initial:   append([]int(nil), n.Initial...),
+		final:     bitset.New(n.NumStates),
+	}
+	for q := range n.Final {
+		if n.Final[q] {
+			c.final.Add(q)
+		}
+	}
+	nl := labels.len()
+	for q := 0; q < n.NumStates; q++ {
+		c.trans[q] = make([][]int, nl)
+		c.mask[q] = make([]bitset.StateSet, nl)
+		for a, succs := range n.Trans[q] {
+			l := labels.id(a)
+			c.trans[q][l] = succs
+			m := bitset.New(n.NumStates)
+			for _, p := range succs {
+				m.Add(p)
+			}
+			c.mask[q][l] = m
+		}
+	}
+	return c
+}
+
+// initialSet returns the initial subset-state as a bitset.
+func (c *compiledNFA) initialSet() bitset.StateSet {
+	s := bitset.New(c.numStates)
+	for _, q := range c.initial {
+		s.Add(q)
+	}
+	return s
+}
+
+// step writes δ(set, l) into out (which it clears first) using the
+// precomputed masks. The result may be empty — the implicit sink of the
+// determinized automaton.
+func (c *compiledNFA) step(set bitset.StateSet, l int, out bitset.StateSet) {
+	out.Clear()
+	set.ForEach(func(q int) {
+		if m := c.mask[q][l]; m != nil {
+			out.UnionWith(m)
+		}
+	})
+}

@@ -131,21 +131,26 @@ func DeterminizeCtx(ctx context.Context, n *NFA) (*DFA, error) {
 	return d, nil
 }
 
-// ContainsCtx is Contains with cooperative cancellation: both the
-// determinization of e2 and the on-the-fly product emptiness check
-// honor ctx. On cancellation the boolean is meaningless and the error
-// is ctx.Err().
+// ContainsCtx is Contains with cooperative cancellation. It runs the
+// antichain engine (see antichain.go): lazy, interned-bitset subset
+// construction with subsumption pruning. ContainsClassicCtx retains the
+// eager textbook construction as the differential reference. On
+// cancellation the boolean is meaningless and the error is ctx.Err().
 func ContainsCtx(ctx context.Context, e1, e2 *regex.Expr) (bool, error) {
-	return nfaContainsCtx(ctx, Glushkov(e1), e2)
+	return containsAntichainCtx(ctx, Glushkov(e1), Glushkov(e2))
 }
 
-// NFAContainsCtx is NFAContains with cooperative cancellation.
+// NFAContainsCtx is NFAContains with cooperative cancellation, on the
+// antichain engine.
 func NFAContainsCtx(ctx context.Context, n1 *NFA, e2 *regex.Expr) (bool, error) {
-	return nfaContainsCtx(ctx, n1, e2)
+	return containsAntichainCtx(ctx, n1, Glushkov(e2))
 }
 
-func nfaContainsCtx(ctx context.Context, n1 *NFA, e2 *regex.Expr) (bool, error) {
-	ctx, span := obs.StartSpan(ctx, "automata.contains")
+// nfaContainsClassicCtx is the classic engine: eager determinization of
+// e2, complementation over the union alphabet, and a DFS for a product
+// state witnessing L(n1) \ L(e2) ≠ ∅.
+func nfaContainsClassicCtx(ctx context.Context, n1 *NFA, e2 *regex.Expr) (bool, error) {
+	ctx, span := obs.StartSpan(ctx, "automata.contains_classic")
 	defer span.Finish()
 	alpha := unionAlpha(n1.Alphabet, e2.Alphabet())
 	det, err := DeterminizeCtx(ctx, Glushkov(e2))
@@ -249,14 +254,33 @@ func IntersectionWitnessCtx(ctx context.Context, es ...*regex.Expr) ([]string, b
 		}
 		return true
 	}
+	// BFS items record only a parent index and the label that reached
+	// them; the witness word is reconstructed once at the end. The old
+	// shape — `queue = queue[1:]` plus a full word copy per item — both
+	// pinned the queue's backing array for the whole search and made
+	// total allocation quadratic in the witness length
+	// (TestIntersectionWitnessAllocBound is the regression test).
 	type item struct {
-		tuple [][]int
-		word  []string
+		tuple  [][]int
+		parent int
+		label  string
 	}
 	seen := map[string]bool{key(start): true}
-	queue := []item{{start, nil}}
+	items := []item{{start, -1, ""}}
 	if allFinal(start) {
 		return []string{}, true, nil
+	}
+	witness := func(i int) []string {
+		var n int
+		for j := i; j > 0; j = items[j].parent {
+			n++
+		}
+		w := make([]string, n)
+		for j := i; j > 0; j = items[j].parent {
+			n--
+			w[n] = items[j].label
+		}
+		return w
 	}
 	// candidate labels: intersection of alphabets
 	labels := nfas[0].Alphabet
@@ -264,9 +288,8 @@ func IntersectionWitnessCtx(ctx context.Context, es ...*regex.Expr) ([]string, b
 		labels = intersectSorted(labels, n.Alphabet)
 	}
 	cc := newCanceler(ctx, span)
-	for len(queue) > 0 {
-		it := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(items); head++ {
+		tuple := items[head].tuple
 		tuples.Inc()
 		for _, a := range labels {
 			if err := cc.checkpoint(); err != nil {
@@ -274,7 +297,7 @@ func IntersectionWitnessCtx(ctx context.Context, es ...*regex.Expr) ([]string, b
 			}
 			next := make([][]int, len(nfas))
 			dead := false
-			for i, set := range it.tuple {
+			for i, set := range tuple {
 				m := map[int]bool{}
 				for _, q := range set {
 					for _, p := range nfas[i].Trans[q][a] {
@@ -300,11 +323,10 @@ func IntersectionWitnessCtx(ctx context.Context, es ...*regex.Expr) ([]string, b
 				continue
 			}
 			seen[k] = true
-			w := append(append([]string(nil), it.word...), a)
+			items = append(items, item{next, head, a})
 			if allFinal(next) {
-				return w, true, nil
+				return witness(len(items) - 1), true, nil
 			}
-			queue = append(queue, item{next, w})
 		}
 	}
 	return nil, false, nil

@@ -52,13 +52,34 @@ func TestContainsCtxPreCanceled(t *testing.T) {
 	}
 }
 
-func TestContainsCtxDeadlineAbortsBlowup(t *testing.T) {
-	// 2^26 subset states cannot be materialized in 100ms; the deadline
-	// must abort the determinization instead of letting it run away.
+func TestContainsCtxDeadlineAbortsHardFamily(t *testing.T) {
+	// The lazy engine decides (a|b)* ⊆ adversarialRight(n) instantly (a
+	// counterexample sits at depth 1), so the instance that must time out
+	// is self-containment of the antichain-hard family: its subset-states
+	// are pairwise ⊆-incomparable, pruning never fires, and the full run
+	// takes tens of seconds. The deadline must abort it instead.
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	hard := regex.MustParse(AntichainHardExpr(16))
+	start := time.Now()
+	_, err := ContainsCtx(ctx, hard, hard)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("cancellation took %v, want < 500ms after a 100ms deadline", elapsed)
+	}
+}
+
+func TestContainsClassicCtxDeadlineAbortsBlowup(t *testing.T) {
+	// The retained classic engine still determinizes eagerly; 2^26 subset
+	// states cannot be materialized in 100ms and the deadline must abort
+	// the determinization instead of letting it run away.
 	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	_, err := ContainsCtx(ctx, regex.MustParse("(a|b)*"), adversarialRight(26))
+	_, err := ContainsClassicCtx(ctx, regex.MustParse("(a|b)*"), adversarialRight(26))
 	elapsed := time.Since(start)
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
@@ -92,10 +113,13 @@ func TestEquivalentCtx(t *testing.T) {
 	}
 }
 
-// benchInstance is a moderate containment instance (2^10 subset states)
-// that exercises both the determinization and the product search.
+// benchInstance is a moderate containment instance — self-containment
+// of the antichain-hard family at k=8, ~1500 lazily interned
+// subset-states — that exercises the interner, the antichain insertion,
+// and the product search without early exit (the verdict is true).
 func benchInstance() (*regex.Expr, *regex.Expr) {
-	return regex.MustParse("b* a (b* a)*"), adversarialRight(10)
+	hard := regex.MustParse(AntichainHardExpr(8))
+	return hard, hard
 }
 
 // BenchmarkContains measures the context-free entry point; its checkpoints

@@ -10,13 +10,17 @@ import (
 
 // TestContainsCtxRecordsSpans drives a containment check under a traced
 // context and checks that the span tree carries the cost counters the
-// explain mode and the slow-op log rely on.
+// explain mode and the slow-op log rely on. The instance is blowup-
+// family self-containment: the verdict is true (no early counterexample
+// exit), every subset-state is lazily interned, and the subsumption
+// order actually fires, so all three engine counters are nonzero.
 func TestContainsCtxRecordsSpans(t *testing.T) {
 	tr := &obs.Tracer{}
 	ctx, root := tr.StartRoot(context.Background(), "test")
-	e1, e2 := regex.MustParse("b* a (b* a)*"), adversarialRight(6)
-	if _, err := ContainsCtx(ctx, e1, e2); err != nil {
-		t.Fatal(err)
+	e := adversarialRight(8)
+	ok, err := ContainsCtx(ctx, e, e)
+	if err != nil || !ok {
+		t.Fatalf("self-containment = %v, %v", ok, err)
 	}
 	root.Finish()
 	tree := root.Tree()
@@ -24,13 +28,47 @@ func TestContainsCtxRecordsSpans(t *testing.T) {
 		t.Fatalf("children = %+v, want one automata.contains span", tree.Children)
 	}
 	contains := tree.Children[0]
-	if contains.Counters["product_states"] == 0 {
-		t.Fatalf("product_states = 0, want > 0: %+v", contains)
+	if contains.Attrs["engine"] != "antichain" {
+		t.Fatalf("engine attr = %q, want antichain", contains.Attrs["engine"])
 	}
-	if len(contains.Children) != 1 || contains.Children[0].Name != "automata.determinize" {
-		t.Fatalf("contains children = %+v, want one determinize span", contains.Children)
+	for _, c := range []string{"states_expanded", "product_states", "antichain_pruned"} {
+		if contains.Counters[c] == 0 {
+			t.Fatalf("%s = 0, want > 0: %+v", c, contains.Counters)
+		}
 	}
-	det := contains.Children[0]
+	// The whole point of the lazy engine: it must intern far fewer than
+	// the 2^9 subset states the eager construction materializes here.
+	if got := contains.Counters["states_expanded"]; got >= 1<<9 {
+		t.Fatalf("states_expanded = %d, want < 2^9 (lazy engine)", got)
+	}
+	if len(contains.Children) != 0 {
+		t.Fatalf("contains children = %+v, want none (no eager determinize)", contains.Children)
+	}
+}
+
+// TestContainsClassicCtxRecordsSpans pins the retained reference
+// engine's span shape: an automata.contains_classic span with an eager
+// automata.determinize child accounting all 2^n subset states.
+func TestContainsClassicCtxRecordsSpans(t *testing.T) {
+	tr := &obs.Tracer{}
+	ctx, root := tr.StartRoot(context.Background(), "test")
+	e1, e2 := regex.MustParse("b* a (b* a)*"), adversarialRight(6)
+	if _, err := ContainsClassicCtx(ctx, e1, e2); err != nil {
+		t.Fatal(err)
+	}
+	root.Finish()
+	tree := root.Tree()
+	if len(tree.Children) != 1 || tree.Children[0].Name != "automata.contains_classic" {
+		t.Fatalf("children = %+v, want one automata.contains_classic span", tree.Children)
+	}
+	classic := tree.Children[0]
+	if classic.Counters["product_states"] == 0 {
+		t.Fatalf("product_states = 0, want > 0: %+v", classic)
+	}
+	if len(classic.Children) != 1 || classic.Children[0].Name != "automata.determinize" {
+		t.Fatalf("classic children = %+v, want one determinize span", classic.Children)
+	}
+	det := classic.Children[0]
 	// The subset construction for (a|b)* a (a|b)^6 materializes 2^6 = 64
 	// reachable subset states (plus the initial one); every one of them
 	// must have been accounted.

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/automata"
 	"repro/internal/regex"
 )
 
@@ -49,8 +50,24 @@ func TestContainsCtxAgreesWithContains(t *testing.T) {
 	}
 }
 
-func TestContainsCtxDeadlineAbortsBlowup(t *testing.T) {
-	d1, d2 := adversarialDTDs(26)
+// hardDTDs builds a containment instance whose root-rule check is
+// self-containment of the antichain-hard family — the shape the lazy
+// engine cannot prune, so the per-label check stays exponential.
+func hardDTDs(k int) (*DTD, *DTD) {
+	rule := func() *regex.Expr { return regex.MustParse(automata.AntichainHardExpr(k)) }
+	d1 := New().AddStart("r").
+		AddRule("r", rule()).
+		AddRule("a", regex.NewEpsilon()).
+		AddRule("b", regex.NewEpsilon())
+	d2 := New().AddStart("r").
+		AddRule("r", rule()).
+		AddRule("a", regex.NewEpsilon()).
+		AddRule("b", regex.NewEpsilon())
+	return d1, d2
+}
+
+func TestContainsCtxDeadlineAbortsHardFamily(t *testing.T) {
+	d1, d2 := hardDTDs(16)
 	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
 	defer cancel()
 	start := time.Now()
@@ -60,6 +77,15 @@ func TestContainsCtxDeadlineAbortsBlowup(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
 		t.Fatalf("cancellation took %v, want < 500ms", elapsed)
+	}
+}
+
+// TestContainsAgreesOnHardFamily pins the verdict at a decidable size.
+func TestContainsAgreesOnHardFamily(t *testing.T) {
+	d1, d2 := hardDTDs(4)
+	ok, err := ContainsCtx(context.Background(), d1, d2)
+	if err != nil || !ok {
+		t.Fatalf("hard-family self-containment = %v, %v, want true", ok, err)
 	}
 }
 

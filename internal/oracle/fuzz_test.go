@@ -1,6 +1,7 @@
 package oracle
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -90,6 +91,40 @@ func FuzzRegexContainment(f *testing.F) {
 		}
 		if !automata.Equivalent(e1, e1.Simplify()) {
 			t.Fatalf("Simplify changed the language of %s", e1)
+		}
+	})
+}
+
+// FuzzAntichainContainment pits the lazy antichain engine against the
+// classic eager engine on arbitrary expression pairs, in both
+// directions — the coverage-guided complement of the seeded
+// antichain-containment oracle.
+func FuzzAntichainContainment(f *testing.F) {
+	f.Add("a b", "a b + a")
+	f.Add("(a + b)* a (a + b)", "(a + b)*")
+	f.Add("a?", "a")
+	f.Add("(a + b)* (a (a + b) a + b (a + b) b)", "(a + b)* (a (a + b) a + b (a + b) b)")
+	f.Fuzz(func(t *testing.T, src1, src2 string) {
+		e1, err := regex.Parse(src1)
+		if err != nil {
+			t.Skip()
+		}
+		e2, err := regex.Parse(src2)
+		if err != nil {
+			t.Skip()
+		}
+		if posCount(e1) > 8 || posCount(e2) > 8 || e1.Size() > 40 || e2.Size() > 40 {
+			t.Skip()
+		}
+		for _, dir := range [][2]*regex.Expr{{e1, e2}, {e2, e1}} {
+			got, err := automata.ContainsCtx(context.Background(), dir[0], dir[1])
+			if err != nil {
+				t.Fatalf("ContainsCtx(%s, %s): %v", dir[0], dir[1], err)
+			}
+			if want := automata.ContainsClassic(dir[0], dir[1]); got != want {
+				t.Fatalf("antichain Contains(%s, %s)=%v but classic engine=%v",
+					dir[0], dir[1], got, want)
+			}
 		}
 	})
 }

@@ -70,6 +70,7 @@ func All() []Oracle {
 	return []Oracle{
 		regexMembership{},
 		regexContainment{},
+		antichainContainment{},
 		schemaContainment{},
 		jsonSchemaContainment{},
 		propertyPathEval{},
@@ -140,6 +141,31 @@ func Run(o Oracle, seed int64, budget time.Duration, maxDivergences int) *Stats 
 	deadline := start.Add(budget)
 	st := &Stats{Oracle: o.Name()}
 	for trial := int64(0); time.Now().Before(deadline); trial++ {
+		if d := RunTrial(o, seed+trial); d != nil {
+			st.Divergences = append(st.Divergences, d)
+			if len(st.Divergences) >= maxDivergences {
+				st.Trials++
+				break
+			}
+		}
+		st.Trials++
+	}
+	st.Elapsed = time.Since(start)
+	return st
+}
+
+// RunTrials drives o with exactly trials seeds seed, …, seed+trials-1,
+// independent of wall time — the form CI uses so a required trial count
+// (e.g. the 10k-case antichain run) does not silently shrink on slow
+// runners. It stops early only after maxDivergences findings (<= 0
+// means stop at the first).
+func RunTrials(o Oracle, seed int64, trials int, maxDivergences int) *Stats {
+	if maxDivergences <= 0 {
+		maxDivergences = 1
+	}
+	start := time.Now()
+	st := &Stats{Oracle: o.Name()}
+	for trial := int64(0); trial < int64(trials); trial++ {
 		if d := RunTrial(o, seed+trial); d != nil {
 			st.Divergences = append(st.Divergences, d)
 			if len(st.Divergences) >= maxDivergences {

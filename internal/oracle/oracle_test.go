@@ -10,6 +10,7 @@ import (
 var trialsFor = map[string]int64{
 	"regex-membership":       150,
 	"regex-containment":      60,
+	"antichain-containment":  80,
 	"schema-containment":     40,
 	"jsonschema-containment": 30,
 	"propertypath-eval":      60,

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/automata"
 	"repro/internal/metrics"
 )
 
@@ -189,9 +190,11 @@ func (s *Stream) Next() Request {
 			Body:        strings.Join(s.queries(8+r.Intn(17)), "\n") + "\n",
 		}
 	default: // adversarial exponential instance under a tight deadline: a deliberate 504
-		right := "(a|b)* a" + strings.Repeat(" (a|b)", 26)
+		// self-containment of the antichain-hard family defeats the lazy
+		// engine's pruning; k=16 needs tens of seconds, so it always 504s
+		hard := automata.AntichainHardExpr(16)
 		return jsonReq("containment-adversarial", "/v1/containment", map[string]any{
-			"engine": "regex", "left": "(a|b)*", "right": right,
+			"engine": "regex", "left": hard, "right": hard,
 			"deadline_ms": 10 + r.Intn(40),
 		})
 	}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/automata"
 	"repro/internal/obs"
 )
 
@@ -219,8 +220,8 @@ func TestBatchExplainPerItemSpans(t *testing.T) {
 // 504 markers for the rest, instead of losing the whole batch.
 func TestBatchDeadlineMarksRemainingItems(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	adversarial := `{"engine":"regex","left":"(a|b)*","right":"(a|b)* a` +
-		strings.Repeat(` (a|b)`, 26) + `"}`
+	hard := automata.AntichainHardExpr(16)
+	adversarial := `{"engine":"regex","left":"` + hard + `","right":"` + hard + `"}`
 	body := `{"deadline_ms":150,"items":[
 		{"op":"membership","request":{"expr":"a","word":["a"]}},
 		{"op":"containment","request":` + adversarial + `},

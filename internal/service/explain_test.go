@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/automata"
 	"repro/internal/obs"
 )
 
@@ -34,10 +35,13 @@ type explainedContainment struct {
 
 // TestContainmentExplain is the acceptance check of the explain mode:
 // a containment request with "explain": true returns a nested span tree
-// whose automata spans report a nonzero states_expanded cost.
+// whose engine span reports nonzero cost counters. The instance is
+// antichain-hard self-containment at small k, where all three engine
+// counters (states_expanded, product_states, antichain_pruned) fire.
 func TestContainmentExplain(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	body := `{"engine":"regex","left":"b* a (b* a)*","right":"(a|b)* a (a|b) (a|b) (a|b) (a|b)","explain":true}`
+	hard := automata.AntichainHardExpr(8)
+	body := `{"engine":"regex","left":"` + hard + `","right":"` + hard + `","explain":true}`
 	var resp explainedContainment
 	if code := post(t, ts.URL, "/v1/containment", body, &resp); code != 200 {
 		t.Fatalf("code = %d", code)
@@ -52,12 +56,13 @@ func TestContainmentExplain(t *testing.T) {
 	if contains == nil {
 		t.Fatalf("no automata.contains span in trace: %+v", resp.Trace)
 	}
-	if contains.Counters["product_states"] == 0 {
-		t.Fatalf("product_states = 0: %+v", contains)
+	if contains.Attrs["engine"] != "antichain" {
+		t.Fatalf("engine attr = %q, want antichain: %+v", contains.Attrs["engine"], contains)
 	}
-	det := findSpan(contains, "automata.determinize")
-	if det == nil || det.Counters["states_expanded"] == 0 {
-		t.Fatalf("determinize span missing or states_expanded = 0: %+v", det)
+	for _, c := range []string{"states_expanded", "product_states", "antichain_pruned"} {
+		if contains.Counters[c] == 0 {
+			t.Fatalf("%s = 0 in explain trace: %+v", c, contains.Counters)
+		}
 	}
 }
 

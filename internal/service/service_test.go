@@ -10,6 +10,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/automata"
 )
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
@@ -44,12 +46,15 @@ func post(t *testing.T, base, path, body string, out any) int {
 	return resp.StatusCode
 }
 
-// adversarialContainment is a containment request whose right side needs
-// a 2^26 subset construction — unfinishable within any test deadline.
+// adversarialContainment is a containment request the lazy antichain
+// engine cannot finish within any test deadline: self-containment of
+// the window-equality family (automata.AntichainHardExpr), whose
+// subset-states are pairwise ⊆-incomparable, so pruning never fires and
+// the search is exponential — k=16 needs tens of seconds.
 func adversarialContainment(deadlineMS int) string {
-	right := "(a|b)* a" + strings.Repeat(" (a|b)", 26)
+	hard := automata.AntichainHardExpr(16)
 	b, _ := json.Marshal(map[string]any{
-		"engine": "regex", "left": "(a|b)*", "right": right, "deadline_ms": deadlineMS,
+		"engine": "regex", "left": hard, "right": hard, "deadline_ms": deadlineMS,
 	})
 	return string(b)
 }

@@ -2,7 +2,6 @@ package repro
 
 import (
 	"context"
-	"strings"
 	"testing"
 
 	"repro/internal/automata"
@@ -11,16 +10,13 @@ import (
 	"repro/internal/regex"
 )
 
-// traceBenchInstance is a containment pair whose subset construction
-// expands 2^10 states — long enough that the per-state instrumentation
+// traceBenchInstance is a containment pair the lazy antichain engine
+// must fully explore (~1.5k interned subset-states, no early
+// counterexample exit) — long enough that the per-state instrumentation
 // cost is what the benchmark measures, not fixed setup.
 func traceBenchInstance() (*regex.Expr, *regex.Expr) {
-	var b strings.Builder
-	b.WriteString("(a|b)* a")
-	for i := 0; i < 10; i++ {
-		b.WriteString(" (a|b)")
-	}
-	return regex.MustParse("b* a (b* a)*"), regex.MustParse(b.String())
+	hard := regex.MustParse(automata.AntichainHardExpr(8))
+	return hard, hard
 }
 
 // BenchmarkTraceDisabledOverhead bounds the cost of the observability
@@ -38,7 +34,7 @@ func BenchmarkTraceDisabledOverhead(b *testing.B) {
 		b.ReportAllocs()
 		ctx := context.Background()
 		for i := 0; i < b.N; i++ {
-			if ok, err := automata.ContainsCtx(ctx, e1, e2); err != nil || ok {
+			if ok, err := automata.ContainsCtx(ctx, e1, e2); err != nil || !ok {
 				b.Fatalf("ContainsCtx = %v, %v", ok, err)
 			}
 		}
@@ -48,7 +44,7 @@ func BenchmarkTraceDisabledOverhead(b *testing.B) {
 		tr := &obs.Tracer{}
 		for i := 0; i < b.N; i++ {
 			ctx, root := tr.StartRoot(context.Background(), "bench")
-			if ok, err := automata.ContainsCtx(ctx, e1, e2); err != nil || ok {
+			if ok, err := automata.ContainsCtx(ctx, e1, e2); err != nil || !ok {
 				b.Fatalf("ContainsCtx = %v, %v", ok, err)
 			}
 			root.Finish()
