@@ -8,6 +8,15 @@
 //	rwdgen -kind sparql -source WikiRobot/OK -n 5000 | rwdanalyze -kind sparql
 //	rwdanalyze -kind sparql -file queries.log
 //	rwdanalyze -kind xml -file corpus.txt
+//	rwdanalyze -kind sparql -store-dir ./corpus.store -corpus wikidata-logs
+//	rwdanalyze -kind rdf -store-dir ./corpus.store -corpus dbpedia
+//
+// With -store-dir the input comes from a persistent corpus store
+// (built by rwdstore or POST /v1/corpora) instead of a file: kind
+// sparql reads a log corpus's committed lines, and kind rdf runs the
+// Section 7.1 RDF analyses over a triples corpus. A missing or corrupt
+// store is exit code 3 — distinct from usage errors (2) and I/O errors
+// (1) — and never silently falls back to regeneration.
 package main
 
 import (
@@ -20,20 +29,29 @@ import (
 	"repro/internal/core"
 	"repro/internal/jsonschema"
 	"repro/internal/obs"
+	"repro/internal/rdf"
 	"repro/internal/schemastudy"
+	"repro/internal/store"
 	"repro/internal/textio"
 	"repro/internal/xmllite"
 	"repro/internal/xpath"
 )
 
 var kinds = map[string]bool{
-	"sparql": true, "xml": true, "dtd": true, "jsonschema": true, "xpath": true,
+	"sparql": true, "xml": true, "dtd": true, "jsonschema": true, "xpath": true, "rdf": true,
 }
 
+// exitBadStore is the exit code for a missing or corrupt -store-dir:
+// callers scripting the CLI can tell "fix the store" (3) apart from
+// "fix the invocation" (2) and ordinary I/O failures (1).
+const exitBadStore = 3
+
 func main() {
-	kind := flag.String("kind", "sparql", "corpus kind: sparql|xml|dtd|jsonschema|xpath")
+	kind := flag.String("kind", "sparql", "corpus kind: sparql|xml|dtd|jsonschema|xpath|rdf")
 	file := flag.String("file", "-", "input file; '-' reads stdin")
 	name := flag.String("name", "corpus", "corpus name for the reports")
+	storeDir := flag.String("store-dir", "", "read the corpus from the persistent store at this directory instead of -file")
+	corpusName := flag.String("corpus", "", "corpus name inside -store-dir (required with -store-dir)")
 	workers := flag.Int("workers", 0, "analysis workers for -kind sparql; 0 = one per CPU, 1 = sequential")
 	trace := flag.String("trace", "", "dump the pipeline span tree after the run: '-' writes stderr, anything else is a file path; empty disables")
 	flag.Parse()
@@ -44,21 +62,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kind)
 		os.Exit(2)
 	}
-
-	var in io.Reader = os.Stdin
-	if *file != "-" {
-		f, err := os.Open(*file)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		in = f
+	if *kind == "rdf" && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "kind rdf analyzes a stored triples corpus: -store-dir and -corpus are required")
+		os.Exit(2)
 	}
-	lines, err := textio.ReadLines(in)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	if *storeDir != "" && *corpusName == "" {
+		fmt.Fprintln(os.Stderr, "-store-dir requires -corpus")
+		os.Exit(2)
 	}
 
 	// With -trace the whole analysis runs under a root span; the sparql
@@ -71,6 +81,47 @@ func main() {
 			root.Finish()
 			dumpTrace(*trace, root.Tree())
 		}()
+	}
+
+	var lines []string
+	if *storeDir != "" {
+		// OpenExisting refuses to create a store: pointing -store-dir at
+		// the wrong directory must fail loudly, not regenerate silently.
+		st, err := store.OpenExisting(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rwdanalyze: store at %s is unusable: %v\n", *storeDir, err)
+			os.Exit(exitBadStore)
+		}
+		defer st.Close()
+		switch *kind {
+		case "rdf":
+			analyzeStoredGraph(ctx, st, *corpusName)
+			return
+		case "sparql":
+			if lines, err = st.LogLines(ctx, *corpusName); err != nil {
+				fmt.Fprintf(os.Stderr, "rwdanalyze: reading corpus %q: %v\n", *corpusName, err)
+				os.Exit(exitBadStore)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "kind %q cannot read from a store (only sparql and rdf corpora persist)\n", *kind)
+			os.Exit(2)
+		}
+	} else {
+		var in io.Reader = os.Stdin
+		if *file != "-" {
+			f, err := os.Open(*file)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			in = f
+		}
+		var err error
+		if lines, err = textio.ReadLines(in); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	switch *kind {
@@ -105,6 +156,31 @@ func main() {
 			res.Total, res.ParseErrors, res.SizeQuantile(0.5), res.TreePatterns,
 			100*float64(res.TreePatterns)/float64(max(res.Total, 1)))
 	}
+}
+
+// analyzeStoredGraph runs the Section 7.1 RDF analyses over a stored
+// triples corpus and prints them in the rwdbench -rdfstats format.
+func analyzeStoredGraph(ctx context.Context, st *store.Store, corpus string) {
+	sg, err := st.Graph(ctx, corpus)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rwdanalyze: corpus %q: %v\n", corpus, err)
+		os.Exit(exitBadStore)
+	}
+	stats := rdf.ComputeStats(sg)
+	if err := sg.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "rwdanalyze: scanning corpus %q: %v\n", corpus, err)
+		os.Exit(exitBadStore)
+	}
+	fmt.Printf("triples: %d, subjects: %d, predicates: %d, objects: %d\n",
+		stats.Triples, stats.Subjects, stats.Predicates, stats.Objects)
+	fmt.Printf("in-degree: max %d, mean %.2f, alpha %.2f (power law; Bachlechner/Strang: max 7739 vs mean 9.56)\n",
+		stats.InDegree.Max, stats.InDegree.Mean, stats.InDegree.Alpha)
+	fmt.Printf("predicate lists: %d distinct; %.1f%% of subjects share a common list (Fernandez: ≈99%%)\n",
+		stats.PredicateLists, 100*stats.SharedListSubjectRate)
+	fmt.Printf("objects per (s,p): %.3f (≈1); subjects per (p,o): %.2f ± %.2f (skewed)\n",
+		stats.MeanObjectsPerSP, stats.MeanSubjectsPerPO, stats.StdDevSubjectsPerPO)
+	fmt.Printf("|P∩S|/|P∪S| = %.2g, |P∩O|/|P∪O| = %.2g (paper: 0 or 10⁻⁷..10⁻³)\n",
+		stats.PSOverlap, stats.POOverlap)
 }
 
 // dumpTrace renders the span tree to stderr ("-") or the given file.

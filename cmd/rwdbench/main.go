@@ -32,6 +32,13 @@
 //	rwdbench -automata [-automata-out BENCH_automata.json] \
 //	         [-automata-blowup-k 14] [-automata-hard-k 10] \
 //	         [-automata-easy-trials 50] [-seed 1]
+//
+// -store benchmarks the persistent corpus store (internal/store) on a
+// seeded synthetic graph — ingest throughput, range-scan throughput,
+// reopen latency, bytes per triple — and writes a BENCH_store.json
+// baseline:
+//
+//	rwdbench -store [-store-out BENCH_store.json] [-store-triples 20000] [-seed 1]
 package main
 
 import (
@@ -54,8 +61,9 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/schemastudy"
-	"repro/internal/service"
 	"repro/internal/serveload"
+	"repro/internal/service"
+	"repro/internal/storebench"
 	"repro/internal/xmllite"
 	"repro/internal/xpath"
 )
@@ -77,7 +85,18 @@ func main() {
 	autoBlowupK := flag.Int("automata-blowup-k", 14, "k of the adversarial-blowup family for -automata")
 	autoHardK := flag.Int("automata-hard-k", 10, "k of the antichain-hard family for -automata")
 	autoEasyTrials := flag.Int("automata-easy-trials", 50, "easy-random instance count for -automata")
+	storeBench := flag.Bool("store", false, "benchmark the persistent corpus store and write a BENCH_store.json baseline (skips the paper experiments)")
+	storeOut := flag.String("store-out", "BENCH_store.json", "where -store writes the baseline report")
+	storeTriples := flag.Int("store-triples", 20000, "generated graph size for -store")
 	flag.Parse()
+
+	if *storeBench {
+		if err := runStoreBench(*seed, *storeTriples, *storeOut); err != nil {
+			fmt.Fprintln(os.Stderr, "rwdbench: store:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *autoBench {
 		if err := runAutomataBench(*seed, *autoEasyTrials, *autoBlowupK, *autoHardK, *autoOut); err != nil {
@@ -294,6 +313,41 @@ func runServeLoad(url string, seed int64, duration time.Duration, concurrency in
 
 // runAutomataBench runs the engine comparison families and writes the
 // committed baseline.
+// runStoreBench benchmarks the persistent corpus store in a throwaway
+// directory and writes the BENCH_store.json baseline.
+func runStoreBench(seed int64, triples int, out string) error {
+	dir, err := os.MkdirTemp("", "rwdbench-store-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	fmt.Fprintf(os.Stderr, "rwdbench: benchmarking store (seed %d, %d triples) …\n", seed, triples)
+	rep, err := storebench.Run(context.Background(), storebench.Config{
+		Dir:     dir,
+		Seed:    seed,
+		Triples: triples,
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := storebench.WriteJSON(f, rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"rwdbench: ingest %.0f triples/s | scan %.0f rows/s | reopen %.1fms | %.1f bytes/triple\n",
+		rep.IngestTriplesPerSec, rep.ScanRowsPerSec, rep.ReopenMS, rep.BytesPerTriple)
+	fmt.Fprintf(os.Stderr, "rwdbench: baseline -> %s\n", out)
+	return nil
+}
+
 func runAutomataBench(seed int64, easyTrials, blowupK, hardK int, out string) error {
 	fmt.Fprintf(os.Stderr, "rwdbench: comparing containment engines (seed %d, blowup k=%d, hard k=%d, %d easy pairs) …\n",
 		seed, blowupK, hardK, easyTrials)

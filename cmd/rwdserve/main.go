@@ -11,8 +11,12 @@
 //	         -default-deadline 2s -max-deadline 30s
 //
 // Endpoints: POST /v1/containment /v1/membership /v1/validate /v1/infer
-// /v1/analyze; GET /healthz /metrics. See the README "Service API"
-// section for request shapes and curl examples.
+// /v1/analyze /v1/batch /v1/corpora; GET /v1/corpora /healthz /metrics.
+// With -store-dir the server opens (or creates) a persistent corpus
+// store there: POST /v1/corpora ingests triples or query logs, and
+// /v1/analyze accepts "corpus": "<name>" to analyze committed data
+// instead of inline queries. See the README "Service API" and
+// "Persistent store" sections for request shapes and curl examples.
 //
 // SIGTERM or SIGINT starts a graceful drain: the listener closes, in-
 // flight requests finish (bounded by -drain-timeout), then the process
@@ -36,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
@@ -57,6 +62,8 @@ func main() {
 		"log 1 of every N slow spans (the rest are only counted)")
 	debugAddr := flag.String("debug-addr", "",
 		"optional private address for the pprof debug server (e.g. localhost:6060); empty disables")
+	storeDir := flag.String("store-dir", "",
+		"directory of the persistent corpus store (created if missing); empty disables /v1/corpora and corpus-backed /v1/analyze")
 	flag.Parse()
 
 	srv := service.New(service.Config{
@@ -69,6 +76,23 @@ func main() {
 		SlowOpThreshold: *slowOpThreshold,
 		SlowOpSample:    *slowOpSample,
 	})
+
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			// A corrupt store must stop the server loudly rather than serve
+			// 503s that look like a missing -store-dir.
+			fmt.Fprintln(os.Stderr, "rwdserve: opening store:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := st.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "rwdserve: closing store:", err)
+			}
+		}()
+		srv.AttachStore(st)
+		fmt.Fprintf(os.Stderr, "rwdserve store at %s\n", *storeDir)
+	}
 
 	if *debugAddr != "" {
 		// net/http/pprof registers its handlers on the default mux; keep

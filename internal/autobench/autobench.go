@@ -77,9 +77,9 @@ type FamilyReport struct {
 	Family    string `json:"family"`
 	Instances int    `json:"instances"`
 	// Params echoes the family knobs (k, trials) for reproducibility.
-	Params    map[string]int         `json:"params,omitempty"`
-	Antichain EngineCost             `json:"antichain"`
-	Classic   EngineCost             `json:"classic"`
+	Params    map[string]int `json:"params,omitempty"`
+	Antichain EngineCost     `json:"antichain"`
+	Classic   EngineCost     `json:"classic"`
 	// StatesExpandedRatio is classic/antichain states_expanded — the
 	// quantity the antichain engine exists to improve.
 	StatesExpandedRatio float64 `json:"states_expanded_ratio"`

@@ -20,8 +20,8 @@ import (
 
 // Registry holds a set of metric families and renders them on demand.
 type Registry struct {
-	mu   sync.Mutex
-	fams []*family
+	mu     sync.Mutex
+	fams   []*family
 	byName map[string]*family
 }
 

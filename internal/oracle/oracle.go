@@ -76,6 +76,7 @@ func All() []Oracle {
 		propertyPathEval{},
 		sparqlEval{},
 		shardMerge{},
+		storeAnalysis{},
 	}
 }
 

@@ -16,6 +16,7 @@ var trialsFor = map[string]int64{
 	"propertypath-eval":      60,
 	"sparql-eval":            60,
 	"shard-merge":            6,
+	"store-analysis":         6,
 }
 
 // TestOraclesAgree is the go-test exposure of every differential oracle:

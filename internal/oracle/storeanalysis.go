@@ -1,0 +1,154 @@
+package oracle
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/loggen"
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// storeAnalysis is the end-to-end differential check of the persistent
+// corpus store: a seeded log corpus and a seeded triple graph are
+// ingested, flushed (sometimes across several segments), the store is
+// closed and REOPENED from disk, and the store-backed analysis — log
+// lines through core.AnalyzeQueries, the stored graph through
+// rdf.ComputeStats — must be byte-identical (JSON) to the in-memory
+// analysis of the same data. This is the invariant the service's
+// corpus-backed /v1/analyze relies on.
+type storeAnalysis struct{}
+
+func (storeAnalysis) Name() string { return "store-analysis" }
+
+func (storeAnalysis) Description() string {
+	return "store-backed analysis after reopen vs in-memory on seeded log and triple corpora"
+}
+
+func (o storeAnalysis) Trial(r *rand.Rand) *Divergence {
+	srcs := loggen.Sources()
+	src := srcs[r.Intn(len(srcs))]
+	g := loggen.NewGen(src, r.Int63())
+	n := 15 + r.Intn(25)
+	qs := make([]string, 0, n+n/3)
+	for i := 0; i < n; i++ {
+		qs = append(qs, g.Next())
+	}
+	// Duplicates are the interesting case: the store must preserve them
+	// (and their order) for Total/Valid/Unique to come out identical.
+	for i := 0; i < n/3; i++ {
+		qs = append(qs, qs[r.Intn(n)])
+	}
+	graph := rdf.DefaultGen().Graph(r, 30+r.Intn(120))
+	// 0, 1, or 2 mid-ingest flush points split the corpora across
+	// segments, exercising the multi-segment merge on the read side.
+	flushes := r.Intn(3)
+
+	if diff := storeDiff(src.Name, qs, graph, flushes); diff != "" {
+		qs = shrinkList(qs, func(cand []string) bool {
+			return storeDiff(src.Name, cand, graph, flushes) != ""
+		})
+		return &Divergence{
+			Input:  fmt.Sprintf("source=%s flushes=%d queries=%q graph=%d triples", src.Name, flushes, qs, graph.Len()),
+			Detail: storeDiff(src.Name, qs, graph, flushes),
+		}
+	}
+	return nil
+}
+
+// storeDiff runs the full write → close → reopen → read → analyze cycle
+// and compares against the in-memory reference, returning a description
+// of the first difference ("" when byte-identical).
+func storeDiff(name string, qs []string, graph *rdf.Graph, flushes int) string {
+	ctx := context.Background()
+	dir, err := os.MkdirTemp("", "oracle-store-*")
+	if err != nil {
+		return fmt.Sprintf("mkdir temp: %v", err)
+	}
+	defer os.RemoveAll(dir)
+
+	st, err := store.Open(dir)
+	if err != nil {
+		return fmt.Sprintf("open: %v", err)
+	}
+	// Ingest in interleaved slices with flushes in between, so each
+	// corpus can span the memtable and several committed segments. The
+	// slice bounds are computed per corpus (never from the other one),
+	// so shrinking the query list does not change triple ingestion.
+	triples := graph.Triples()
+	rounds := flushes + 1
+	for i := 0; i < rounds; i++ {
+		qlo, qhi := i*len(qs)/rounds, (i+1)*len(qs)/rounds
+		if _, err := st.IngestLog(ctx, "logs", qs[qlo:qhi]); err != nil {
+			st.Close()
+			return fmt.Sprintf("ingest log: %v", err)
+		}
+		tlo, thi := i*len(triples)/rounds, (i+1)*len(triples)/rounds
+		if _, err := st.IngestTriples(ctx, "graph", triples[tlo:thi]); err != nil {
+			st.Close()
+			return fmt.Sprintf("ingest triples: %v", err)
+		}
+		if i+1 < rounds {
+			if err := st.Flush(ctx); err != nil {
+				st.Close()
+				return fmt.Sprintf("flush: %v", err)
+			}
+		}
+	}
+	if err := st.Close(); err != nil {
+		return fmt.Sprintf("close: %v", err)
+	}
+
+	st2, err := store.OpenExisting(dir)
+	if err != nil {
+		return fmt.Sprintf("reopen: %v", err)
+	}
+	defer st2.Close()
+
+	lines, err := st2.LogLines(ctx, "logs")
+	if err != nil {
+		return fmt.Sprintf("log lines: %v", err)
+	}
+	if injectedBug == "store-analysis" && len(lines) > 0 {
+		lines = lines[:len(lines)-1]
+	}
+	memRep := core.AnalyzeQueries(name, qs, 1)
+	storeRep := core.AnalyzeQueries(name, lines, 1)
+	if diff := jsonDiff("report", memRep, storeRep); diff != "" {
+		return diff
+	}
+
+	sg, err := st2.Graph(ctx, "graph")
+	if err != nil {
+		return fmt.Sprintf("graph: %v", err)
+	}
+	memStats := rdf.ComputeStats(graph)
+	storeStats := rdf.ComputeStats(sg)
+	if err := sg.Err(); err != nil {
+		return fmt.Sprintf("graph scan: %v", err)
+	}
+	return jsonDiff("rdf stats", memStats, storeStats)
+}
+
+// jsonDiff compares the canonical JSON of both values: the service
+// promises byte-identical responses, so the comparison is on bytes,
+// not on approximate equality.
+func jsonDiff(what string, mem, stored any) string {
+	a, err := json.Marshal(mem)
+	if err != nil {
+		return fmt.Sprintf("marshal in-memory %s: %v", what, err)
+	}
+	b, err := json.Marshal(stored)
+	if err != nil {
+		return fmt.Sprintf("marshal store-backed %s: %v", what, err)
+	}
+	if !bytes.Equal(a, b) {
+		return fmt.Sprintf("store-backed %s differs from in-memory:\n  mem:   %s\n  store: %s", what, a, b)
+	}
+	return ""
+}

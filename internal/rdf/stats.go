@@ -77,33 +77,57 @@ func newDistribution(values []int) Distribution {
 	return d
 }
 
-// ComputeStats runs the Section 7.1 analyses over the graph.
-func ComputeStats(g *Graph) *Stats {
+// ComputeStats runs the Section 7.1 analyses over any GraphReader. It
+// builds its index maps locally from one pass over Triples, so it is
+// backend-agnostic, and every aggregate is independent of triple
+// iteration order (distributions sort, counts are commutative) — the
+// store-analysis differential oracle depends on that for byte-identical
+// reports across backends.
+func ComputeStats(g GraphReader) *Stats {
+	triples := g.Triples()
+	bySubject := map[string]int{}
+	byObject := map[string]int{}
+	predicates := map[string]bool{}
+	subjectPreds := map[string]map[string]bool{}
+	objectPreds := map[string]map[string]bool{}
+	bySP := map[[2]string]int{}
+	byPO := map[[2]string]int{}
+	for _, t := range triples {
+		bySubject[t.S]++
+		byObject[t.O]++
+		predicates[t.P] = true
+		if subjectPreds[t.S] == nil {
+			subjectPreds[t.S] = map[string]bool{}
+		}
+		subjectPreds[t.S][t.P] = true
+		if objectPreds[t.O] == nil {
+			objectPreds[t.O] = map[string]bool{}
+		}
+		objectPreds[t.O][t.P] = true
+		bySP[[2]string{t.S, t.P}]++
+		byPO[[2]string{t.P, t.O}]++
+	}
+
 	st := &Stats{
-		Triples:    g.Len(),
-		Subjects:   len(g.bySubject),
-		Predicates: len(g.byPredicate),
-		Objects:    len(g.byObject),
+		Triples:    len(triples),
+		Subjects:   len(bySubject),
+		Predicates: len(predicates),
+		Objects:    len(byObject),
 	}
 	// degrees
 	var outs, ins []int
-	for _, idx := range g.bySubject {
-		outs = append(outs, len(idx))
+	for _, n := range bySubject {
+		outs = append(outs, n)
 	}
-	for _, idx := range g.byObject {
-		ins = append(ins, len(idx))
+	for _, n := range byObject {
+		ins = append(ins, n)
 	}
 	st.OutDegree = newDistribution(outs)
 	st.InDegree = newDistribution(ins)
 
 	// predicate lists
 	listCount := map[string]int{}
-	for s, idx := range g.bySubject {
-		_ = s
-		set := map[string]bool{}
-		for _, i := range idx {
-			set[g.triples[i].P] = true
-		}
+	for _, set := range subjectPreds {
 		ps := make([]string, 0, len(set))
 		for p := range set {
 			ps = append(ps, p)
@@ -130,17 +154,12 @@ func ComputeStats(g *Graph) *Stats {
 	}
 
 	// multiplicities
-	st.MeanObjectsPerSP = meanLen(g.bySP)
-	st.MeanSubjectsPerPO, st.StdDevSubjectsPerPO = meanStdLen(g.byPO)
+	st.MeanObjectsPerSP = meanCount(bySP)
+	st.MeanSubjectsPerPO, st.StdDevSubjectsPerPO = meanStdCount(byPO)
 
 	// predicates per object
 	perObject := 0
-	for o, idx := range g.byObject {
-		_ = o
-		set := map[string]bool{}
-		for _, i := range idx {
-			set[g.triples[i].P] = true
-		}
+	for _, set := range objectPreds {
 		perObject += len(set)
 	}
 	if st.Objects > 0 {
@@ -148,12 +167,12 @@ func ComputeStats(g *Graph) *Stats {
 	}
 
 	// overlaps
-	st.PSOverlap = overlap(keysSet(g.byPredicate), keysSet(g.bySubject))
-	st.POOverlap = overlap(keysSet(g.byPredicate), keysSet(g.byObject))
+	st.PSOverlap = overlap(predicates, countKeys(bySubject))
+	st.POOverlap = overlap(predicates, countKeys(byObject))
 	return st
 }
 
-func keysSet(m map[string][]int) map[string]bool {
+func countKeys(m map[string]int) map[string]bool {
 	out := make(map[string]bool, len(m))
 	for k := range m {
 		out[k] = true
@@ -176,29 +195,36 @@ func overlap(a, b map[string]bool) float64 {
 	return float64(inter) / float64(union)
 }
 
-func meanLen(m map[[2]string][]int) float64 {
+func meanCount(m map[[2]string]int) float64 {
 	if len(m) == 0 {
 		return 0
 	}
 	sum := 0
-	for _, idx := range m {
-		sum += len(idx)
+	for _, n := range m {
+		sum += n
 	}
 	return float64(sum) / float64(len(m))
 }
 
-func meanStdLen(m map[[2]string][]int) (mean, std float64) {
+func meanStdCount(m map[[2]string]int) (mean, std float64) {
 	if len(m) == 0 {
 		return 0, 0
 	}
-	sum := 0.0
-	for _, idx := range m {
-		sum += float64(len(idx))
+	// Accumulate in sorted order: the squared deviations are not exactly
+	// representable, so summing in map iteration order would make the
+	// last bits of the result depend on the (randomized) order — which
+	// would break the byte-identity the store-analysis oracle pins.
+	counts := make([]int, 0, len(m))
+	sum := 0
+	for _, n := range m {
+		counts = append(counts, n)
+		sum += n
 	}
-	mean = sum / float64(len(m))
+	sort.Ints(counts)
+	mean = float64(sum) / float64(len(m))
 	varSum := 0.0
-	for _, idx := range m {
-		d := float64(len(idx)) - mean
+	for _, n := range counts {
+		d := float64(n) - mean
 		varSum += d * d
 	}
 	std = math.Sqrt(varSum / float64(len(m)))

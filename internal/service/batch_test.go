@@ -69,7 +69,7 @@ var batchTestItems = []struct{ op, body string }{
 	{"validate", `{"kind":"dtd","schema":"<!ELEMENT r (a*)> <!ELEMENT a EMPTY>","docs":["r(a, a)","r(r)"]}`},
 	{"infer", `{"algorithm":"sore","words":[["a","b"],["b"]]}`},
 	{"containment", `{"engine":"regex","left":"a b","right":"a (b|c)"}`}, // duplicate: cache hit
-	{"containment", `{"engine":"nope","left":"a","right":"a"}`},         // per-item 400
+	{"containment", `{"engine":"nope","left":"a","right":"a"}`},          // per-item 400
 }
 
 func batchBody(t *testing.T) string {

@@ -14,7 +14,9 @@ import (
 	"repro/internal/inference"
 	"repro/internal/jsonschema"
 	"repro/internal/kore"
+	"repro/internal/rdf"
 	"repro/internal/regex"
+	"repro/internal/store"
 	"repro/internal/textio"
 	"repro/internal/tree"
 )
@@ -436,16 +438,23 @@ func decideInfer(ctx context.Context, body []byte) (any, *apiError) {
 // ---- POST /v1/analyze ----
 
 type analyzeRequest struct {
-	Name       string   `json:"name"`
-	Queries    []string `json:"queries"`
-	Workers    int      `json:"workers,omitempty"`
-	DeadlineMS int      `json:"deadline_ms"`
+	Name    string   `json:"name"`
+	Queries []string `json:"queries"`
+	// Corpus names a stored corpus to analyze instead of inline
+	// queries: a log corpus runs through the same query analysis as
+	// inline queries (byte-identical report); a triples corpus runs the
+	// Section 7.1 RDF analyses. Requires an attached store.
+	Corpus     string `json:"corpus,omitempty"`
+	Workers    int    `json:"workers,omitempty"`
+	DeadlineMS int    `json:"deadline_ms"`
 }
 
 type analyzeResponse struct {
+	Corpus    string             `json:"corpus,omitempty"`
 	Queries   int                `json:"queries"`
 	Workers   int                `json:"workers"`
-	Report    *core.SourceReport `json:"report"`
+	Report    *core.SourceReport `json:"report,omitempty"`
+	RDFStats  *rdf.Stats         `json:"rdf_stats,omitempty"`
 	ElapsedMS float64            `json:"elapsed_ms"`
 }
 
@@ -462,14 +471,28 @@ func (s *Server) handleAnalyze(ctx context.Context, req *request) (any, *apiErro
 			return nil, errBadRequest("reading query log: %v", err)
 		}
 		in = analyzeRequest{Name: req.query.Get("name"), Queries: queries}
+		in.Corpus = req.query.Get("corpus")
 		if w, err := strconv.Atoi(req.query.Get("workers")); err == nil {
 			in.Workers = w
 		}
 	} else if err := json.Unmarshal(req.body, &in); err != nil {
 		return nil, errBadRequest("invalid JSON: %v", err)
 	}
-	if len(in.Queries) == 0 {
+	if in.Corpus != "" && len(in.Queries) > 0 {
+		return nil, errBadRequest("corpus and queries are mutually exclusive")
+	}
+	if in.Corpus == "" && len(in.Queries) == 0 {
 		return nil, errBadRequest("queries is required")
+	}
+	var corpus store.Corpus
+	if in.Corpus != "" {
+		if s.store == nil {
+			return nil, errNoStoreAttached
+		}
+		var err error
+		if corpus, err = s.store.Lookup(in.Corpus); err != nil {
+			return nil, storeError(err)
+		}
 	}
 	name := in.Name
 	if name == "" {
@@ -481,15 +504,54 @@ func (s *Server) handleAnalyze(ctx context.Context, req *request) (any, *apiErro
 	}
 	start := time.Now()
 	return runEngine(ctx, req, func(ctx context.Context) (any, *apiError) {
-		rep := core.AnalyzeQueriesCtx(ctx, name, in.Queries, workers)
+		elapsed := func() float64 { return float64(time.Since(start).Microseconds()) / 1000 }
+		queries := in.Queries
+		switch {
+		case in.Corpus != "" && corpus.Kind == store.KindTriples:
+			// Store-backed RDF analysis: the Section 7.1 stats over a
+			// GraphReader view of the corpus.
+			sg, err := s.store.Graph(ctx, in.Corpus)
+			if err != nil {
+				return nil, storeError(err)
+			}
+			stats := rdf.ComputeStats(sg)
+			if err := sg.Err(); err != nil {
+				if ctx.Err() != nil {
+					return nil, ctxError(ctx.Err())
+				}
+				return nil, storeError(err)
+			}
+			return analyzeResponse{
+				Corpus:    in.Corpus,
+				Workers:   workers,
+				RDFStats:  stats,
+				ElapsedMS: elapsed(),
+			}, nil
+		case in.Corpus != "":
+			// Store-backed log analysis: the stored lines run through the
+			// same sharded analyzer as inline queries, so the report is
+			// byte-identical to the in-memory path on the same log.
+			var err error
+			if queries, err = s.store.LogLines(ctx, in.Corpus); err != nil {
+				if ctx.Err() != nil {
+					return nil, ctxError(ctx.Err())
+				}
+				return nil, storeError(err)
+			}
+			if name == "corpus" {
+				name = in.Corpus
+			}
+		}
+		rep := core.AnalyzeQueriesCtx(ctx, name, queries, workers)
 		if err := ctx.Err(); err != nil {
 			return nil, ctxError(err) // the shards aborted early; the report is partial
 		}
 		return analyzeResponse{
-			Queries:   len(in.Queries),
+			Corpus:    in.Corpus,
+			Queries:   len(queries),
 			Workers:   workers,
 			Report:    rep,
-			ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+			ElapsedMS: elapsed(),
 		}, nil
 	})
 }

@@ -190,14 +190,14 @@ func TestParseEnvelope(t *testing.T) {
 
 func TestStreamingBodyContentTypes(t *testing.T) {
 	cases := map[string]bool{
-		"application/x-ndjson":               true,
-		"application/ndjson":                 true,
-		"text/plain":                         true,
-		"text/plain; charset=utf-8":          true,
-		"Application/X-NDJSON":               true,
-		"application/json":                   false,
-		"":                                   false,
-		"application/json; charset=utf-8":    false,
+		"application/x-ndjson":            true,
+		"application/ndjson":              true,
+		"text/plain":                      true,
+		"text/plain; charset=utf-8":       true,
+		"Application/X-NDJSON":            true,
+		"application/json":                false,
+		"":                                false,
+		"application/json; charset=utf-8": false,
 	}
 	for ct, want := range cases {
 		r, _ := http.NewRequest(http.MethodPost, "/v1/analyze", nil)

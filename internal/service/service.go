@@ -35,6 +35,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // Config parameterizes the server. The zero value is usable: every field
@@ -108,6 +109,9 @@ type Server struct {
 	cache  *cache.Cache
 	sem    chan struct{}
 	tracer *obs.Tracer
+	// store is the optional persistent corpus store (AttachStore); nil
+	// means the corpus endpoints answer 503.
+	store *store.Store
 
 	reqTotal     *metrics.CounterVec   // endpoint, code
 	latency      *metrics.HistogramVec // endpoint
@@ -220,6 +224,8 @@ func New(cfg Config) *Server {
 	s.mux.Handle("POST /v1/infer", s.endpoint("infer", s.handleInfer))
 	s.mux.Handle("POST /v1/analyze", s.endpoint("analyze", s.handleAnalyze))
 	s.mux.Handle("POST /v1/batch", s.endpoint("batch", s.handleBatch))
+	s.mux.Handle("GET /v1/corpora", s.endpoint("corpora", s.handleCorporaList))
+	s.mux.Handle("POST /v1/corpora", s.endpoint("corpora_ingest", s.handleCorporaIngest))
 	// healthz and metrics bypass admission control: they must answer even
 	// (especially) when the server is saturated.
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)

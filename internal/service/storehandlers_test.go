@@ -1,0 +1,179 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+)
+
+func newStoreServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	s, ts := newTestServer(t, Config{})
+	s.AttachStore(st)
+	return s, ts.URL
+}
+
+func TestCorpusEndpointsWithoutStore(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, c := range []struct{ method, path, body string }{
+		{"GET", "/v1/corpora", ""},
+		{"POST", "/v1/corpora", `{"name":"x","queries":["q"]}`},
+		{"POST", "/v1/analyze", `{"corpus":"x"}`},
+	} {
+		var code int
+		if c.method == "GET" {
+			resp, err := http.Get(ts.URL + c.path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			code = resp.StatusCode
+		} else {
+			code = post(t, ts.URL, c.path, c.body, nil)
+		}
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("%s %s without a store: code %d, want 503", c.method, c.path, code)
+		}
+	}
+}
+
+func TestCorpusIngestListAnalyze(t *testing.T) {
+	_, base := newStoreServer(t)
+
+	// Ingest a log corpus.
+	queries := []string{
+		"SELECT ?x WHERE { ?x a ?y }",
+		"not a query at all ((",
+		"SELECT ?x WHERE { ?x a ?y }",
+	}
+	body, _ := json.Marshal(map[string]any{"name": "logs", "queries": queries})
+	var ing corpusIngestResponse
+	if code := post(t, base, "/v1/corpora", string(body), &ing); code != 200 {
+		t.Fatalf("ingest log: code %d", code)
+	}
+	if ing.Added != len(queries) || ing.Kind != "log" {
+		t.Fatalf("ingest log: %+v", ing)
+	}
+
+	// Ingest a triples corpus, twice — the second call must dedup.
+	triples := [][3]string{
+		{"s1", "knows", "s2"},
+		{"s2", "knows", "s3"},
+		{"s1", "knows", "s2"},
+	}
+	body, _ = json.Marshal(map[string]any{"name": "graph", "triples": triples})
+	if code := post(t, base, "/v1/corpora", string(body), &ing); code != 200 {
+		t.Fatalf("ingest triples: code %d", code)
+	}
+	if ing.Added != 2 || ing.Skipped != 1 || ing.Kind != "triples" {
+		t.Fatalf("ingest triples: %+v", ing)
+	}
+	if code := post(t, base, "/v1/corpora", string(body), &ing); code != 200 || ing.Added != 0 || ing.Skipped != 3 {
+		t.Fatalf("re-ingest triples: code %d resp %+v", code, ing)
+	}
+
+	// List.
+	resp, err := http.Get(base + "/v1/corpora")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list corporaResponse
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Corpora) != 2 || list.Corpora[0].Name != "graph" || list.Corpora[0].Entries != 2 ||
+		list.Corpora[1].Name != "logs" || list.Corpora[1].Entries != 3 {
+		t.Fatalf("corpora list: %+v", list.Corpora)
+	}
+
+	// Store-backed log analysis must match the inline path byte for byte.
+	inline, _ := json.Marshal(map[string]any{"name": "logs", "queries": queries})
+	var inMem, stored analyzeResponse
+	if code := post(t, base, "/v1/analyze", string(inline), &inMem); code != 200 {
+		t.Fatalf("inline analyze: code %d", code)
+	}
+	if code := post(t, base, "/v1/analyze", `{"name":"logs","corpus":"logs"}`, &stored); code != 200 {
+		t.Fatalf("store-backed analyze: code %d", code)
+	}
+	a, _ := json.Marshal(inMem.Report)
+	b, _ := json.Marshal(stored.Report)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("reports diverge:\ninline: %s\nstored: %s", a, b)
+	}
+	if stored.Queries != len(queries) || stored.Corpus != "logs" {
+		t.Fatalf("store-backed analyze: %+v", stored)
+	}
+
+	// Store-backed RDF analysis.
+	var rdfResp analyzeResponse
+	if code := post(t, base, "/v1/analyze", `{"corpus":"graph"}`, &rdfResp); code != 200 {
+		t.Fatalf("rdf analyze: code %d", code)
+	}
+	if rdfResp.RDFStats == nil || rdfResp.RDFStats.Triples != 2 || rdfResp.Report != nil {
+		t.Fatalf("rdf analyze: %+v", rdfResp)
+	}
+
+	// Unknown corpus is 404, not 500.
+	if code := post(t, base, "/v1/analyze", `{"corpus":"absent"}`, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown corpus: code %d, want 404", code)
+	}
+	// corpus+queries is the client's mistake.
+	if code := post(t, base, "/v1/analyze", `{"corpus":"logs","queries":["q"]}`, nil); code != http.StatusBadRequest {
+		t.Fatalf("corpus+queries: code %d, want 400", code)
+	}
+}
+
+func TestCorpusIngestValidation(t *testing.T) {
+	_, base := newStoreServer(t)
+	cases := []string{
+		`{"queries":["q"]}`, // no name
+		`{"name":"x"}`,      // no kind, no data
+		`{"name":"x","kind":"nope","queries":["q"]}`,             // bad kind
+		`{"name":"x","triples":[["s","p","o"]],"queries":["q"]}`, // both
+		`{"name":"x","kind":"log","triples":[["s","p","o"]]}`,    // kind mismatch
+		`{"name":"x","kind":"triples","queries":["q"]}`,          // kind mismatch
+	}
+	for i, c := range cases {
+		if code := post(t, base, "/v1/corpora", c, nil); code != http.StatusBadRequest {
+			t.Fatalf("case %d (%s): code %d, want 400", i, c, code)
+		}
+	}
+}
+
+func TestStoreMetricsExported(t *testing.T) {
+	_, base := newStoreServer(t)
+	body, _ := json.Marshal(map[string]any{"name": "g", "triples": [][3]string{{"s", "p", "o"}}})
+	if code := post(t, base, "/v1/corpora", string(body), nil); code != 200 {
+		t.Fatal("ingest failed")
+	}
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"rwd_store_corpora 1",
+		"rwd_store_triples 1",
+		"rwd_store_segments 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q", want)
+		}
+	}
+}

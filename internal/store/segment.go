@@ -1,0 +1,333 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Segment file format. A segment is an immutable, sorted run of
+// key/value records, flushed from the memtable or produced by
+// compaction:
+//
+//	header (32 bytes):
+//	  magic   "RWDSEG01"           8B
+//	  version uint32 BE            4B  (currently 1)
+//	  count   uint32 BE            4B  record count
+//	  dataLen uint64 BE            8B  bytes after the header
+//	  dataCRC uint32 BE            4B  CRC-32 (IEEE) of the data region
+//	  hdrCRC  uint32 BE            4B  CRC-32 of the 28 header bytes above
+//	data region (dataLen bytes):
+//	  records, sorted by key:  [keyLen uint16 BE][key][valLen uint32 BE][val]
+//	  offset table:            count × uint64 BE (record offsets into the
+//	                           data region), for O(log n) binary search
+//
+// Segments are written to a ".tmp" name, synced, and renamed into
+// place: the rename is the commit. openSegment verifies the magic,
+// both CRCs, and the exact file length, so a torn or tampered segment
+// is rejected as corruption rather than partially read — stray .tmp
+// files from a crash are deleted at open and were never committed.
+const (
+	segMagic      = "RWDSEG01"
+	segVersion    = 1
+	segHeaderSize = 32
+)
+
+// record is one key/value pair bound for a segment.
+type record struct {
+	key, val []byte
+}
+
+// sortRecords orders records by key (keys are unique within a flush).
+func sortRecords(recs []record) {
+	sort.Slice(recs, func(i, j int) bool { return bytes.Compare(recs[i].key, recs[j].key) < 0 })
+}
+
+// writeSegment builds and atomically commits a segment file at path.
+func writeSegment(path string, recs []record) error {
+	var data []byte
+	offsets := make([]uint64, len(recs))
+	for i, r := range recs {
+		offsets[i] = uint64(len(data))
+		data = binary.BigEndian.AppendUint16(data, uint16(len(r.key)))
+		data = append(data, r.key...)
+		data = binary.BigEndian.AppendUint32(data, uint32(len(r.val)))
+		data = append(data, r.val...)
+	}
+	for _, off := range offsets {
+		data = binary.BigEndian.AppendUint64(data, off)
+	}
+
+	hdr := make([]byte, 0, segHeaderSize)
+	hdr = append(hdr, segMagic...)
+	hdr = binary.BigEndian.AppendUint32(hdr, segVersion)
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(len(recs)))
+	hdr = binary.BigEndian.AppendUint64(hdr, uint64(len(data)))
+	hdr = binary.BigEndian.AppendUint32(hdr, crc32.ChecksumIEEE(data))
+	hdr = binary.BigEndian.AppendUint32(hdr, crc32.ChecksumIEEE(hdr))
+
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := failpoint("segment.write"); err != nil {
+		return cleanup(err)
+	}
+	if _, err := f.Write(hdr); err != nil {
+		return cleanup(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := failpoint("segment.sync"); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := failpoint("segment.rename"); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir makes the rename durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// segment is an open, validated segment file. Reads go through the OS
+// page cache via ReadAt; only the offset table lives on the heap, so a
+// store much larger than RAM stays scannable.
+type segment struct {
+	path    string
+	f       *os.File
+	count   int
+	offsets []uint64
+	dataLen uint64
+}
+
+// openSegment validates and opens path. Any mismatch — bad magic, bad
+// CRC, wrong length — returns a *CorruptError: a committed segment is
+// all-or-nothing.
+func openSegment(path string) (*segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	corrupt := func(reason string) (*segment, error) {
+		f.Close()
+		return nil, &CorruptError{Path: path, Reason: reason}
+	}
+	hdr := make([]byte, segHeaderSize)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		return corrupt("header truncated")
+	}
+	if string(hdr[:8]) != segMagic {
+		return corrupt("bad magic")
+	}
+	if crc32.ChecksumIEEE(hdr[:28]) != binary.BigEndian.Uint32(hdr[28:32]) {
+		return corrupt("header crc mismatch")
+	}
+	if v := binary.BigEndian.Uint32(hdr[8:12]); v != segVersion {
+		return corrupt(fmt.Sprintf("unsupported version %d", v))
+	}
+	count := int(binary.BigEndian.Uint32(hdr[12:16]))
+	dataLen := binary.BigEndian.Uint64(hdr[16:24])
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if uint64(st.Size()) != segHeaderSize+dataLen {
+		return corrupt(fmt.Sprintf("file is %d bytes, header promises %d", st.Size(), segHeaderSize+dataLen))
+	}
+	if dataLen < uint64(count)*8 {
+		return corrupt("offset table larger than data region")
+	}
+	data := make([]byte, dataLen)
+	if _, err := f.ReadAt(data, segHeaderSize); err != nil {
+		return corrupt("data region truncated")
+	}
+	if crc32.ChecksumIEEE(data) != binary.BigEndian.Uint32(hdr[24:28]) {
+		return corrupt("data crc mismatch")
+	}
+	offsets := make([]uint64, count)
+	tbl := data[dataLen-uint64(count)*8:]
+	recEnd := dataLen - uint64(count)*8
+	for i := range offsets {
+		offsets[i] = binary.BigEndian.Uint64(tbl[i*8:])
+		if offsets[i] >= recEnd && count > 0 {
+			return corrupt(fmt.Sprintf("record offset %d beyond records region", offsets[i]))
+		}
+	}
+	return &segment{path: path, f: f, count: count, offsets: offsets, dataLen: dataLen}, nil
+}
+
+func (s *segment) close() error { return s.f.Close() }
+
+// readKey returns the i-th record's key.
+func (s *segment) readKey(i int) ([]byte, error) {
+	var lb [2]byte
+	off := int64(segHeaderSize) + int64(s.offsets[i])
+	if _, err := s.f.ReadAt(lb[:], off); err != nil {
+		return nil, err
+	}
+	key := make([]byte, binary.BigEndian.Uint16(lb[:]))
+	if _, err := s.f.ReadAt(key, off+2); err != nil {
+		return nil, err
+	}
+	return key, nil
+}
+
+// readRecord returns the i-th record's key and value.
+func (s *segment) readRecord(i int) (key, val []byte, err error) {
+	key, err = s.readKey(i)
+	if err != nil {
+		return nil, nil, err
+	}
+	off := int64(segHeaderSize) + int64(s.offsets[i]) + 2 + int64(len(key))
+	var lb [4]byte
+	if _, err := s.f.ReadAt(lb[:], off); err != nil {
+		return nil, nil, err
+	}
+	n := binary.BigEndian.Uint32(lb[:])
+	if n == 0 {
+		return key, nil, nil
+	}
+	val = make([]byte, n)
+	if _, err := s.f.ReadAt(val, off+4); err != nil {
+		return nil, nil, err
+	}
+	return key, val, nil
+}
+
+// lowerBound returns the index of the first record with key >= target,
+// counting key comparisons into compared (nil-safe).
+func (s *segment) lowerBound(target []byte, compared *int64) (int, error) {
+	var err error
+	idx := sort.Search(s.count, func(i int) bool {
+		if err != nil {
+			return false
+		}
+		var k []byte
+		k, err = s.readKey(i)
+		if compared != nil {
+			*compared++
+		}
+		return err == nil && bytes.Compare(k, target) >= 0
+	})
+	if err != nil {
+		return 0, err
+	}
+	return idx, nil
+}
+
+// get returns the value stored under key and whether it exists.
+func (s *segment) get(key []byte, compared *int64) ([]byte, bool, error) {
+	i, err := s.lowerBound(key, compared)
+	if err != nil || i >= s.count {
+		return nil, false, err
+	}
+	k, v, err := s.readRecord(i)
+	if err != nil {
+		return nil, false, err
+	}
+	if !bytes.Equal(k, key) {
+		return nil, false, nil
+	}
+	return v, true, nil
+}
+
+// prefixUpper returns the smallest key greater than every key with the
+// given prefix (nil when the prefix is all 0xFF, meaning "scan to the
+// end").
+func prefixUpper(prefix []byte) []byte {
+	up := append([]byte(nil), prefix...)
+	for i := len(up) - 1; i >= 0; i-- {
+		if up[i] != 0xFF {
+			up[i]++
+			return up[:i+1]
+		}
+	}
+	return nil
+}
+
+// scanPrefix calls fn for every record whose key starts with prefix, in
+// key order. fn returning false stops the scan early. checkpoint, when
+// non-nil, is called every scanCheckpointEvery records and aborts the
+// scan when it reports an error (cooperative cancellation).
+func (s *segment) scanPrefix(prefix []byte, compared *int64, checkpoint func() error,
+	fn func(key, val []byte) bool) error {
+	i, err := s.lowerBound(prefix, compared)
+	if err != nil {
+		return err
+	}
+	for n := 0; i < s.count; i, n = i+1, n+1 {
+		if checkpoint != nil && n%scanCheckpointEvery == scanCheckpointEvery-1 {
+			if err := checkpoint(); err != nil {
+				return err
+			}
+		}
+		key, val, err := s.readRecord(i)
+		if err != nil {
+			return err
+		}
+		if compared != nil {
+			*compared++
+		}
+		if !bytes.HasPrefix(key, prefix) {
+			return nil
+		}
+		if !fn(key, val) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// rangeSize returns the number of records whose key starts with prefix.
+func (s *segment) rangeSize(prefix []byte, compared *int64) (int, error) {
+	lo, err := s.lowerBound(prefix, compared)
+	if err != nil {
+		return 0, err
+	}
+	up := prefixUpper(prefix)
+	if up == nil {
+		return s.count - lo, nil
+	}
+	hi, err := s.lowerBound(up, compared)
+	if err != nil {
+		return 0, err
+	}
+	return hi - lo, nil
+}
+
+// scanCheckpointEvery is the cancellation-checkpoint stride of segment
+// scans: frequent enough that a deadline interrupts a large scan in
+// well under a millisecond of extra work.
+const scanCheckpointEvery = 1024

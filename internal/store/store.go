@@ -1,0 +1,781 @@
+package store
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/rdf"
+)
+
+// CorpusKind distinguishes what a corpus holds.
+type CorpusKind string
+
+const (
+	// KindTriples is an RDF triple set: duplicate-free (RDF set
+	// semantics, dedup against the memtable and every committed
+	// segment), indexed SPO/POS/OSP.
+	KindTriples CorpusKind = "triples"
+	// KindLog is an ingested query log: an append-only sequence of raw
+	// lines, duplicates preserved (the log study's Total/Valid/Unique
+	// counters depend on them), iterated in ingest order.
+	KindLog CorpusKind = "log"
+)
+
+// Index-key layout. Every key begins with the 4-byte big-endian corpus
+// id and a 1-byte index tag, so each (corpus, index) pair is one
+// contiguous key range:
+//
+//	triples:  [id 4][idxSPO][S 10][P 10][O 10]        value empty
+//	          [id 4][idxPOS][P 10][O 10][S 10]        value empty
+//	          [id 4][idxOSP][O 10][S 10][P 10]        value empty
+//	log:      [id 4][idxLog][seq 8 BE]                value = raw line
+const (
+	idxSPO byte = 0x10
+	idxPOS byte = 0x11
+	idxOSP byte = 0x12
+	idxLog byte = 0x20
+)
+
+// ErrNoStore reports that the directory exists but holds no store (or
+// does not exist at all); callers that refuse to silently fall back to
+// regeneration test for it with errors.Is.
+var ErrNoStore = errors.New("no store at directory")
+
+// ErrUnknownCorpus reports a lookup of a corpus name never created.
+var ErrUnknownCorpus = errors.New("unknown corpus")
+
+// CorruptError reports that an on-disk structure failed validation —
+// a committed segment or mid-log dictionary record with a bad CRC,
+// wrong length, or bad magic. It is never returned for a torn tail the
+// recovery path can safely truncate.
+type CorruptError struct {
+	Path   string
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("store: %s: corrupt: %s", e.Path, e.Reason)
+}
+
+// IsCorrupt reports whether err (or anything it wraps) is a
+// *CorruptError.
+func IsCorrupt(err error) bool {
+	var ce *CorruptError
+	return errors.As(err, &ce)
+}
+
+// testFailpoint, when non-nil, is consulted at the named write
+// boundaries (dict.append, segment.write, segment.sync,
+// segment.rename); the crash-recovery battery uses it to simulate a
+// crash mid-flush. Never set outside tests.
+var testFailpoint func(op string) error
+
+func failpoint(op string) error {
+	if testFailpoint != nil {
+		return testFailpoint(op)
+	}
+	return nil
+}
+
+// Corpus describes one stored corpus.
+type Corpus struct {
+	Name string     `json:"name"`
+	Kind CorpusKind `json:"kind"`
+	ID   uint32     `json:"id"`
+}
+
+// registry is the corpora.json document.
+type registry struct {
+	NextID  uint32   `json:"next_id"`
+	Corpora []Corpus `json:"corpora"`
+}
+
+// Stats is a point-in-time summary of the store, cheap enough for a
+// metrics gauge (counts come from offset-table range bounds, not full
+// scans).
+type Stats struct {
+	Corpora      int   `json:"corpora"`
+	Segments     int   `json:"segments"`
+	Terms        int   `json:"terms"`
+	Triples      int   `json:"triples"`
+	LogLines     int   `json:"log_lines"`
+	PendingKeys  int   `json:"pending_keys"`
+	SegmentBytes int64 `json:"segment_bytes"`
+}
+
+// CorpusStats summarizes one corpus.
+type CorpusStats struct {
+	Name     string     `json:"name"`
+	Kind     CorpusKind `json:"kind"`
+	Entries  int        `json:"entries"`
+	Segments int        `json:"segments"`
+}
+
+// Store is a persistent triple/log store rooted at one directory. All
+// methods are safe for concurrent use. The zero value is unusable; use
+// Open.
+type Store struct {
+	dir string
+
+	mu      sync.RWMutex
+	dict    *dict
+	segs    []*segment
+	mem     map[string][]byte // pending records, key → value
+	corpora map[string]Corpus
+	nextID  uint32
+	nextSeg uint64
+	logSeq  map[uint32]uint64 // next log sequence number per corpus id
+	closed  bool
+}
+
+// Open opens the store at dir, creating the directory (and an empty
+// store) if needed. It validates every committed segment and replays
+// the term dictionary; leftover temp files from an interrupted flush
+// are deleted (they were never committed).
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return open(dir)
+}
+
+// OpenExisting opens the store at dir but refuses to create one: a
+// missing directory or a directory with no store marker returns
+// ErrNoStore. This is the read path of rwdanalyze -store-dir, which
+// must fail loudly rather than regenerate.
+func OpenExisting(dir string) (*Store, error) {
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		return nil, fmt.Errorf("store: %s: %w", dir, ErrNoStore)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "corpora.json")); err != nil {
+		return nil, fmt.Errorf("store: %s: %w", dir, ErrNoStore)
+	}
+	return open(dir)
+}
+
+func open(dir string) (*Store, error) {
+	s := &Store{
+		dir:     dir,
+		mem:     map[string][]byte{},
+		corpora: map[string]Corpus{},
+		logSeq:  map[uint32]uint64{},
+		nextID:  1,
+	}
+	if err := s.loadRegistry(); err != nil {
+		return nil, err
+	}
+	d, err := openDict(filepath.Join(dir, "terms.dat"))
+	if err != nil {
+		return nil, err
+	}
+	s.dict = d
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		d.close()
+		return nil, err
+	}
+	var segPaths []string
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			// A crash mid-flush: the segment was never renamed into
+			// place, so it was never committed. Remove the debris.
+			os.Remove(filepath.Join(dir, name))
+		case strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".seg"):
+			segPaths = append(segPaths, name)
+			if id, perr := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".seg"), 10, 64); perr == nil && id >= s.nextSeg {
+				s.nextSeg = id + 1
+			}
+		}
+	}
+	sort.Strings(segPaths)
+	for _, name := range segPaths {
+		seg, err := openSegment(filepath.Join(dir, name))
+		if err != nil {
+			s.closeLocked()
+			return nil, err
+		}
+		s.segs = append(s.segs, seg)
+	}
+	if err := s.recoverLogSeqs(); err != nil {
+		s.closeLocked()
+		return nil, err
+	}
+	return s, nil
+}
+
+// recoverLogSeqs rediscovers the next sequence number of every log
+// corpus from the committed segments.
+func (s *Store) recoverLogSeqs() error {
+	for _, c := range s.corpora {
+		if c.Kind != KindLog {
+			continue
+		}
+		prefix := corpusPrefix(c.ID, idxLog)
+		var next uint64
+		for _, seg := range s.segs {
+			n, err := seg.rangeSize(prefix, nil)
+			if err != nil {
+				return err
+			}
+			if n == 0 {
+				continue
+			}
+			lo, err := seg.lowerBound(prefix, nil)
+			if err != nil {
+				return err
+			}
+			key, err := seg.readKey(lo + n - 1)
+			if err != nil {
+				return err
+			}
+			if len(key) != len(prefix)+8 {
+				return &CorruptError{Path: seg.path, Reason: "log key has wrong width"}
+			}
+			if seq := binary.BigEndian.Uint64(key[len(prefix):]) + 1; seq > next {
+				next = seq
+			}
+		}
+		s.logSeq[c.ID] = next
+	}
+	return nil
+}
+
+func (s *Store) loadRegistry() error {
+	path := filepath.Join(s.dir, "corpora.json")
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var reg registry
+	if err := json.Unmarshal(data, &reg); err != nil {
+		return &CorruptError{Path: path, Reason: "corpora.json: " + err.Error()}
+	}
+	for _, c := range reg.Corpora {
+		s.corpora[c.Name] = c
+	}
+	s.nextID = reg.NextID
+	if s.nextID == 0 {
+		s.nextID = 1
+	}
+	return nil
+}
+
+// saveRegistryLocked atomically rewrites corpora.json.
+func (s *Store) saveRegistryLocked() error {
+	reg := registry{NextID: s.nextID}
+	for _, c := range s.corpora {
+		reg.Corpora = append(reg.Corpora, c)
+	}
+	sort.Slice(reg.Corpora, func(i, j int) bool { return reg.Corpora[i].ID < reg.Corpora[j].ID })
+	data, err := json.MarshalIndent(reg, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(s.dir, "corpora.json")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(s.dir)
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close flushes pending writes and releases every file handle. A
+// second Close is a no-op.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+	if err := s.Flush(context.Background()); err != nil {
+		s.mu.Lock()
+		s.closeLocked()
+		s.mu.Unlock()
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closeLocked()
+}
+
+func (s *Store) closeLocked() error {
+	s.closed = true
+	var firstErr error
+	if s.dict != nil {
+		if err := s.dict.close(); err != nil {
+			firstErr = err
+		}
+		s.dict = nil
+	}
+	for _, seg := range s.segs {
+		if err := seg.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	s.segs = nil
+	return firstErr
+}
+
+// CreateCorpus registers a corpus. Creating an existing corpus with
+// the same kind is a no-op (ingest is additive); a kind mismatch is an
+// error.
+func (s *Store) CreateCorpus(name string, kind CorpusKind) (Corpus, error) {
+	if name == "" {
+		return Corpus{}, errors.New("store: corpus name must be non-empty")
+	}
+	if kind != KindTriples && kind != KindLog {
+		return Corpus{}, fmt.Errorf("store: unknown corpus kind %q", kind)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.corpora[name]; ok {
+		if c.Kind != kind {
+			return Corpus{}, fmt.Errorf("store: corpus %q is kind %q, not %q", name, c.Kind, kind)
+		}
+		return c, nil
+	}
+	c := Corpus{Name: name, Kind: kind, ID: s.nextID}
+	s.nextID++
+	s.corpora[name] = c
+	if err := s.saveRegistryLocked(); err != nil {
+		delete(s.corpora, name)
+		s.nextID = c.ID
+		return Corpus{}, err
+	}
+	return c, nil
+}
+
+// Corpora lists the registered corpora with their committed+pending
+// entry counts, sorted by name.
+func (s *Store) Corpora(ctx context.Context) ([]CorpusStats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []CorpusStats
+	for _, c := range s.corpora {
+		n, segs, err := s.entriesLocked(c, nil)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CorpusStats{Name: c.Name, Kind: c.Kind, Entries: n, Segments: segs})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, ctx.Err()
+}
+
+// Lookup returns the corpus registered under name.
+func (s *Store) Lookup(name string) (Corpus, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.corpora[name]
+	if !ok {
+		return Corpus{}, fmt.Errorf("store: %q: %w", name, ErrUnknownCorpus)
+	}
+	return c, nil
+}
+
+// entriesLocked counts a corpus's primary-index records across the
+// committed segments and the memtable, and the number of segments that
+// hold at least one of them.
+func (s *Store) entriesLocked(c Corpus, compared *int64) (entries, segments int, err error) {
+	idx := idxSPO
+	if c.Kind == KindLog {
+		idx = idxLog
+	}
+	prefix := corpusPrefix(c.ID, idx)
+	for _, seg := range s.segs {
+		k, err := seg.rangeSize(prefix, compared)
+		if err != nil {
+			return 0, 0, err
+		}
+		entries += k
+		if k > 0 {
+			segments++
+		}
+	}
+	for key := range s.mem {
+		if strings.HasPrefix(key, string(prefix)) {
+			entries++
+		}
+	}
+	return entries, segments, nil
+}
+
+// corpusPrefix builds the [id][index] key prefix.
+func corpusPrefix(id uint32, idx byte) []byte {
+	p := make([]byte, 0, 5)
+	p = binary.BigEndian.AppendUint32(p, id)
+	return append(p, idx)
+}
+
+// tripleKeys encodes a triple under all three index orders.
+func (s *Store) tripleKeys(id uint32, t rdf.Triple) (spo, pos, osp []byte) {
+	es := appendTerm(nil, t.S, s.dict)
+	ep := appendTerm(nil, t.P, s.dict)
+	eo := appendTerm(nil, t.O, s.dict)
+	spo = append(append(append(corpusPrefix(id, idxSPO), es...), ep...), eo...)
+	pos = append(append(append(corpusPrefix(id, idxPOS), ep...), eo...), es...)
+	osp = append(append(append(corpusPrefix(id, idxOSP), eo...), es...), ep...)
+	return spo, pos, osp
+}
+
+// hasKeyLocked reports whether key exists in the memtable or any
+// committed segment.
+func (s *Store) hasKeyLocked(key []byte, compared *int64) (bool, error) {
+	if _, ok := s.mem[string(key)]; ok {
+		return true, nil
+	}
+	for _, seg := range s.segs {
+		if _, ok, err := seg.get(key, compared); err != nil {
+			return false, err
+		} else if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// IngestTriples adds triples to a triples corpus (creating it if
+// needed), deduplicating against pending writes and every committed
+// segment — re-ingesting an identical corpus is a no-op. It returns
+// the number of new triples accepted. Writes stay in the memtable
+// until Flush.
+func (s *Store) IngestTriples(ctx context.Context, name string, triples []rdf.Triple) (int, error) {
+	c, err := s.CreateCorpus(name, KindTriples)
+	if err != nil {
+		return 0, err
+	}
+	_, span := obs.StartSpan(ctx, "store.ingest")
+	defer span.Finish()
+	span.SetAttr("corpus", name)
+	span.SetAttr("kind", string(KindTriples))
+	added := span.Counter("triples_added")
+	dups := span.Counter("dup_skipped")
+	var compared int64
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	termsBefore := s.dict.len()
+	n := 0
+	for i, t := range triples {
+		if i%scanCheckpointEvery == scanCheckpointEvery-1 {
+			if err := ctx.Err(); err != nil {
+				span.Counter("keys_compared").Add(compared)
+				return n, err
+			}
+		}
+		spo, pos, osp := s.tripleKeys(c.ID, t)
+		ok, err := s.hasKeyLocked(spo, &compared)
+		if err != nil {
+			return n, err
+		}
+		if ok {
+			dups.Inc()
+			continue
+		}
+		s.mem[string(spo)] = nil
+		s.mem[string(pos)] = nil
+		s.mem[string(osp)] = nil
+		added.Inc()
+		n++
+	}
+	span.Counter("keys_compared").Add(compared)
+	span.Count("terms_interned", int64(s.dict.len()-termsBefore))
+	return n, nil
+}
+
+// IngestLog appends lines to a log corpus (creating it if needed).
+// Log corpora keep duplicates and ingest order; each line gets the
+// next sequence number. Writes stay in the memtable until Flush.
+func (s *Store) IngestLog(ctx context.Context, name string, lines []string) (int, error) {
+	c, err := s.CreateCorpus(name, KindLog)
+	if err != nil {
+		return 0, err
+	}
+	_, span := obs.StartSpan(ctx, "store.ingest")
+	defer span.Finish()
+	span.SetAttr("corpus", name)
+	span.SetAttr("kind", string(KindLog))
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seq := s.logSeq[c.ID]
+	prefix := corpusPrefix(c.ID, idxLog)
+	for i, line := range lines {
+		if i%scanCheckpointEvery == scanCheckpointEvery-1 {
+			if err := ctx.Err(); err != nil {
+				s.logSeq[c.ID] = seq
+				span.Count("log_lines_added", int64(i))
+				return i, err
+			}
+		}
+		key := binary.BigEndian.AppendUint64(append([]byte(nil), prefix...), seq)
+		s.mem[string(key)] = []byte(line)
+		seq++
+	}
+	s.logSeq[c.ID] = seq
+	span.Count("log_lines_added", int64(len(lines)))
+	return len(lines), nil
+}
+
+// Flush commits the memtable: pending dictionary terms are appended
+// and synced first (so no committed segment can reference an
+// unpersisted handle), then the records are written as one sorted
+// segment and atomically renamed into place. Flush is the commit
+// point; an empty memtable is a no-op.
+func (s *Store) Flush(ctx context.Context) error {
+	_, span := obs.StartSpan(ctx, "store.flush")
+	defer span.Finish()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("store: closed")
+	}
+	if len(s.mem) == 0 {
+		return s.dict.flush()
+	}
+	if err := s.dict.flush(); err != nil {
+		return err
+	}
+	recs := make([]record, 0, len(s.mem))
+	var bytes int64
+	for k, v := range s.mem {
+		recs = append(recs, record{key: []byte(k), val: v})
+		bytes += int64(len(k) + len(v))
+	}
+	sortRecords(recs)
+	path := filepath.Join(s.dir, fmt.Sprintf("seg-%06d.seg", s.nextSeg))
+	if err := writeSegment(path, recs); err != nil {
+		return err
+	}
+	seg, err := openSegment(path)
+	if err != nil {
+		return err
+	}
+	s.nextSeg++
+	s.segs = append(s.segs, seg)
+	s.mem = map[string][]byte{}
+	span.Count("records_flushed", int64(len(recs)))
+	span.Count("bytes_written", bytes)
+	span.Count("segments_total", int64(len(s.segs)))
+	return nil
+}
+
+// Compact flushes and then merges every segment into one, dropping
+// nothing (keys are unique across segments by construction; equal keys
+// keep the newest value as a safety net). The merged segment is
+// committed before the old ones are deleted, so a crash mid-compaction
+// leaves either the old set or the new set, never less.
+func (s *Store) Compact(ctx context.Context) error {
+	if err := s.Flush(ctx); err != nil {
+		return err
+	}
+	_, span := obs.StartSpan(ctx, "store.compact")
+	defer span.Finish()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.segs) <= 1 {
+		return nil
+	}
+	var compared int64
+	var recs []record
+	// Newest-first so the first occurrence of a key wins, then dedup.
+	for i := len(s.segs) - 1; i >= 0; i-- {
+		seg := s.segs[i]
+		err := seg.scanPrefix(nil, &compared, func() error { return ctx.Err() }, func(key, val []byte) bool {
+			recs = append(recs, record{key: append([]byte(nil), key...), val: append([]byte(nil), val...)})
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	sortRecords(recs)
+	dedup := recs[:0]
+	for i, r := range recs {
+		if i > 0 && string(recs[i-1].key) == string(r.key) {
+			continue
+		}
+		dedup = append(dedup, r)
+	}
+	path := filepath.Join(s.dir, fmt.Sprintf("seg-%06d.seg", s.nextSeg))
+	if err := writeSegment(path, dedup); err != nil {
+		return err
+	}
+	merged, err := openSegment(path)
+	if err != nil {
+		return err
+	}
+	s.nextSeg++
+	old := s.segs
+	s.segs = []*segment{merged}
+	for _, seg := range old {
+		seg.close()
+		os.Remove(seg.path)
+	}
+	span.Count("keys_compared", compared)
+	span.Count("records_flushed", int64(len(dedup)))
+	span.Count("segments_merged", int64(len(old)))
+	return nil
+}
+
+// LogLines returns every line of a log corpus in ingest order. Pending
+// writes are flushed first, so the result always reflects the full
+// ingested log.
+func (s *Store) LogLines(ctx context.Context, name string) ([]string, error) {
+	c, err := s.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if c.Kind != KindLog {
+		return nil, fmt.Errorf("store: corpus %q is kind %q, want %q", name, c.Kind, KindLog)
+	}
+	if err := s.Flush(ctx); err != nil {
+		return nil, err
+	}
+	_, span := obs.StartSpan(ctx, "store.scan")
+	defer span.Finish()
+	span.SetAttr("corpus", name)
+	span.SetAttr("index", "log")
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	prefix := corpusPrefix(c.ID, idxLog)
+	type entry struct {
+		seq  uint64
+		line string
+	}
+	var entries []entry
+	var compared int64
+	checkpoint := func() error { return ctx.Err() }
+	for _, seg := range s.segs {
+		span.Counter("segments_scanned").Inc()
+		err := seg.scanPrefix(prefix, &compared, checkpoint, func(key, val []byte) bool {
+			entries = append(entries, entry{binary.BigEndian.Uint64(key[len(prefix):]), string(val)})
+			return true
+		})
+		if err != nil {
+			span.Counter("keys_compared").Add(compared)
+			return nil, err
+		}
+	}
+	span.Counter("keys_compared").Add(compared)
+	sort.Slice(entries, func(i, j int) bool { return entries[i].seq < entries[j].seq })
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.line
+	}
+	return out, nil
+}
+
+// Stats summarizes the store.
+func (s *Store) StoreStats() (Stats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{
+		Corpora:     len(s.corpora),
+		Segments:    len(s.segs),
+		Terms:       s.dict.len(),
+		PendingKeys: len(s.mem),
+	}
+	for _, seg := range s.segs {
+		st.SegmentBytes += segHeaderSize + int64(seg.dataLen)
+	}
+	for _, c := range s.corpora {
+		n, _, err := s.entriesLocked(c, nil)
+		if err != nil {
+			return st, err
+		}
+		if c.Kind == KindTriples {
+			st.Triples += n
+		} else {
+			st.LogLines += n
+		}
+	}
+	return st, nil
+}
+
+// Verify re-validates every committed structure: segment CRCs are
+// checked at open, so Verify walks every record, decodes every term,
+// and confirms the three triple indexes agree. It is the deep check
+// behind `rwdstore verify`.
+func (s *Store) Verify(ctx context.Context) error {
+	if err := s.Flush(ctx); err != nil {
+		return err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, c := range s.corpora {
+		if c.Kind != KindTriples {
+			continue
+		}
+		counts := map[byte]int{}
+		for _, idx := range []byte{idxSPO, idxPOS, idxOSP} {
+			prefix := corpusPrefix(c.ID, idx)
+			for _, seg := range s.segs {
+				err := seg.scanPrefix(prefix, nil, func() error { return ctx.Err() }, func(key, val []byte) bool {
+					counts[idx]++
+					return true
+				})
+				if err != nil {
+					return err
+				}
+				// Decode every term of every SPO key.
+				if idx != idxSPO {
+					continue
+				}
+				var derr error
+				err = seg.scanPrefix(prefix, nil, func() error { return ctx.Err() }, func(key, val []byte) bool {
+					if len(key) != len(prefix)+3*encodedTermSize {
+						derr = &CorruptError{Path: seg.path, Reason: "triple key has wrong width"}
+						return false
+					}
+					for i := 0; i < 3; i++ {
+						if _, err := decodeTerm(key[len(prefix)+i*encodedTermSize:], s.dict); err != nil {
+							derr = &CorruptError{Path: seg.path, Reason: err.Error()}
+							return false
+						}
+					}
+					return true
+				})
+				if err != nil {
+					return err
+				}
+				if derr != nil {
+					return derr
+				}
+			}
+		}
+		if counts[idxSPO] != counts[idxPOS] || counts[idxSPO] != counts[idxOSP] {
+			return &CorruptError{Path: s.dir, Reason: fmt.Sprintf(
+				"corpus %q index counts disagree: spo=%d pos=%d osp=%d",
+				c.Name, counts[idxSPO], counts[idxPOS], counts[idxOSP])}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,525 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func testTriples(seed int64, n int) []rdf.Triple {
+	g := rdf.DefaultGen().Graph(rand.New(rand.NewSource(seed)), n)
+	return append([]rdf.Triple(nil), g.Triples()...)
+}
+
+func memGraph(triples []rdf.Triple) *rdf.Graph {
+	g := rdf.NewGraph()
+	for _, t := range triples {
+		g.Add(t.S, t.P, t.O)
+	}
+	return g
+}
+
+func sortTriples(ts []rdf.Triple) {
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].S != ts[j].S {
+			return ts[i].S < ts[j].S
+		}
+		if ts[i].P != ts[j].P {
+			return ts[i].P < ts[j].P
+		}
+		return ts[i].O < ts[j].O
+	})
+}
+
+// --- codec ---
+
+func TestTermCodecRoundTrip(t *testing.T) {
+	d, _ := openDict("")
+	terms := []string{
+		"", "a", "ab\x00cd", "12345678", "exactly-8"[:8],
+		"a-term-well-beyond-the-inline-limit",
+		"http://example.org/resource/with/a/long/iri",
+		strings.Repeat("x", 1000),
+		"ünïcödé-términology",
+	}
+	for _, term := range terms {
+		enc := appendTerm(nil, term, d)
+		if len(enc) != encodedTermSize {
+			t.Fatalf("encoded %q to %d bytes, want %d", term, len(enc), encodedTermSize)
+		}
+		got, err := decodeTerm(enc, d)
+		if err != nil {
+			t.Fatalf("decode %q: %v", term, err)
+		}
+		if got != term {
+			t.Fatalf("round trip %q -> %q", term, got)
+		}
+	}
+}
+
+func TestInlineEncodingPreservesOrder(t *testing.T) {
+	d, _ := openDict("")
+	terms := []string{"", "a", "aa", "a\x00", "a\x00b", "ab", "b", "zzzzzzzz", "\x00", "\x00\x00"}
+	for _, x := range terms {
+		for _, y := range terms {
+			ex := appendTerm(nil, x, d)
+			ey := appendTerm(nil, y, d)
+			if sign(bytes.Compare(ex, ey)) != sign(strings.Compare(x, y)) {
+				t.Fatalf("order broken: %q vs %q → enc cmp %d, str cmp %d",
+					x, y, bytes.Compare(ex, ey), strings.Compare(x, y))
+			}
+		}
+	}
+}
+
+func sign(n int) int {
+	switch {
+	case n < 0:
+		return -1
+	case n > 0:
+		return 1
+	}
+	return 0
+}
+
+func TestDecodeTermRejectsCorrupt(t *testing.T) {
+	d, _ := openDict("")
+	cases := [][]byte{
+		nil,
+		{kindInline},
+		{0x00, 0, 0, 0, 0, 0, 0, 0, 0, 0}, // unknown kind
+		{kindInline, 'a', 0, 0, 0, 0, 0, 0, 0, 9},   // length out of range
+		{kindInline, 'a', 'b', 0, 0, 0, 0, 0, 0, 1}, // nonzero padding
+		{kindHash, 1, 2, 3, 4, 5, 6, 7, 8, 0},       // unknown handle
+		{kindHash, 0, 0, 0, 0, 0, 0, 0, 0, 7},       // nonzero length byte
+	}
+	for i, b := range cases {
+		if _, err := decodeTerm(b, d); err == nil {
+			t.Fatalf("case %d: corrupt bytes %v decoded without error", i, b)
+		}
+	}
+}
+
+func TestDictCollisionsPreserveEquality(t *testing.T) {
+	d, _ := openDict("")
+	// Force the maps into a collision by pre-seeding byHandle at another
+	// term's base hash.
+	a := strings.Repeat("a", 20)
+	b := strings.Repeat("b", 20)
+	d.byHandle[fnvHash(b)] = a
+	d.byTerm[a] = fnvHash(b)
+	hb := d.intern(b)
+	if got, _ := d.lookup(hb); got != b {
+		t.Fatalf("collision broke equality: handle of %q resolves to %q", b, got)
+	}
+	if hb == fnvHash(b) {
+		t.Fatalf("collision not detected: %q kept its base hash", b)
+	}
+	if d.intern(b) != hb {
+		t.Fatalf("re-intern changed the handle")
+	}
+}
+
+// --- segments ---
+
+func TestSegmentRoundTripAndScan(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seg-000001.seg")
+	var recs []record
+	for i := 0; i < 500; i++ {
+		recs = append(recs, record{
+			key: []byte(fmt.Sprintf("key-%04d", i)),
+			val: []byte(fmt.Sprintf("val-%d", i)),
+		})
+	}
+	sortRecords(recs)
+	if err := writeSegment(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	seg, err := openSegment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg.close()
+
+	if v, ok, err := seg.get([]byte("key-0123"), nil); err != nil || !ok || string(v) != "val-123" {
+		t.Fatalf("get: %q %v %v", v, ok, err)
+	}
+	if _, ok, err := seg.get([]byte("key-9999"), nil); err != nil || ok {
+		t.Fatalf("get of absent key: ok=%v err=%v", ok, err)
+	}
+	var got []string
+	err = seg.scanPrefix([]byte("key-01"), nil, nil, func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if err != nil || len(got) != 100 {
+		t.Fatalf("prefix scan: %d records, err %v", len(got), err)
+	}
+	if n, err := seg.rangeSize([]byte("key-01"), nil); err != nil || n != 100 {
+		t.Fatalf("rangeSize: %d %v", n, err)
+	}
+}
+
+func TestSegmentDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seg-000001.seg")
+	recs := []record{{key: []byte("hello"), val: []byte("world")}}
+	if err := writeSegment(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+
+	for name, mutate := range map[string]func([]byte) []byte{
+		"flipped data byte": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[segHeaderSize] ^= 0xFF
+			return c
+		},
+		"flipped header byte": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[10] ^= 0xFF
+			return c
+		},
+		"truncated tail":   func(b []byte) []byte { return b[:len(b)-3] },
+		"truncated header": func(b []byte) []byte { return b[:segHeaderSize-4] },
+		"bad magic": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[0] = 'X'
+			return c
+		},
+	} {
+		if err := os.WriteFile(path, mutate(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := openSegment(path); !IsCorrupt(err) {
+			t.Fatalf("%s: want CorruptError, got %v", name, err)
+		}
+	}
+}
+
+// --- store ---
+
+func TestStoreIngestFlushReopen(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	triples := testTriples(7, 300)
+
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := st.IngestTriples(ctx, "g", triples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := memGraph(triples)
+	if n != want.Len() {
+		t.Fatalf("ingested %d, want %d (post-dedup)", n, want.Len())
+	}
+	// Dedup within the memtable and across a flush boundary.
+	if err := st.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := st.IngestTriples(ctx, "g", triples); err != nil || n != 0 {
+		t.Fatalf("re-ingest accepted %d triples, err %v", n, err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err = Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	sg, err := st.Graph(ctx, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sg.Len() != want.Len() {
+		t.Fatalf("reopened Len = %d, want %d", sg.Len(), want.Len())
+	}
+	got := sg.Triples()
+	wantT := append([]rdf.Triple(nil), want.Triples()...)
+	sortTriples(got)
+	sortTriples(wantT)
+	if !reflect.DeepEqual(got, wantT) {
+		t.Fatalf("triples diverge after reopen: %d vs %d", len(got), len(wantT))
+	}
+	if sg.Err() != nil {
+		t.Fatalf("stored graph error: %v", sg.Err())
+	}
+}
+
+func TestStoredGraphMatchesMemoryGraph(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	triples := testTriples(11, 400)
+	want := memGraph(triples)
+
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.IngestTriples(ctx, "g", triples); err != nil {
+		t.Fatal(err)
+	}
+	sg, err := st.Graph(ctx, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(sg.Subjects(), want.Subjects()) {
+		t.Fatalf("Subjects diverge")
+	}
+	if !reflect.DeepEqual(sg.Predicates(), want.Predicates()) {
+		t.Fatalf("Predicates diverge")
+	}
+	if !reflect.DeepEqual(sg.Objects(), want.Objects()) {
+		t.Fatalf("Objects diverge")
+	}
+
+	asSet := func(ts []rdf.Triple) map[rdf.Triple]bool {
+		m := map[rdf.Triple]bool{}
+		for _, t := range ts {
+			m[t] = true
+		}
+		return m
+	}
+	asSortedStrings := func(ss []string) []string {
+		out := append([]string(nil), ss...)
+		sort.Strings(out)
+		return out
+	}
+	// Every lookup shape the evaluators use, on every term that occurs
+	// plus some that do not.
+	subjects := append(want.Subjects(), "no-such-subject", strings.Repeat("missing-long-term-", 3))
+	preds := append(want.Predicates(), "no-such-predicate")
+	objects := append(want.Objects(), "no-such-object")
+	for _, s := range subjects {
+		if !reflect.DeepEqual(asSet(sg.OutEdges(s)), asSet(want.OutEdges(s))) {
+			t.Fatalf("OutEdges(%q) diverge", s)
+		}
+		for _, p := range preds[:4] {
+			if !reflect.DeepEqual(asSortedStrings(sg.ObjectsOf(s, p)), asSortedStrings(want.ObjectsOf(s, p))) {
+				t.Fatalf("ObjectsOf(%q, %q) diverge", s, p)
+			}
+			if !reflect.DeepEqual(asSet(sg.Match(s, p, "")), asSet(want.Match(s, p, ""))) {
+				t.Fatalf("Match(%q, %q, _) diverges", s, p)
+			}
+		}
+	}
+	for _, o := range objects {
+		if !reflect.DeepEqual(asSet(sg.InEdges(o)), asSet(want.InEdges(o))) {
+			t.Fatalf("InEdges(%q) diverge", o)
+		}
+		for _, p := range preds[:4] {
+			if !reflect.DeepEqual(asSortedStrings(sg.SubjectsOf(p, o)), asSortedStrings(want.SubjectsOf(p, o))) {
+				t.Fatalf("SubjectsOf(%q, %q) diverge", p, o)
+			}
+		}
+	}
+	for _, p := range preds {
+		if !reflect.DeepEqual(asSet(sg.Match("", p, "")), asSet(want.Match("", p, ""))) {
+			t.Fatalf("Match(_, %q, _) diverges", p)
+		}
+	}
+	for _, tr := range triples[:50] {
+		if !sg.Has(tr.S, tr.P, tr.O) {
+			t.Fatalf("Has(%v) = false for stored triple", tr)
+		}
+	}
+	if sg.Has("no-such-subject", "p", "o") {
+		t.Fatal("Has reported a phantom triple")
+	}
+	if sg.Err() != nil {
+		t.Fatalf("stored graph error: %v", sg.Err())
+	}
+}
+
+func TestComputeStatsBackendAgnostic(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	triples := testTriples(13, 500)
+	want := memGraph(triples)
+
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.IngestTriples(ctx, "g", triples); err != nil {
+		t.Fatal(err)
+	}
+	sg, err := st.Graph(ctx, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := rdf.ComputeStats(want)
+	b := rdf.ComputeStats(sg)
+	if sg.Err() != nil {
+		t.Fatal(sg.Err())
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("ComputeStats diverges across backends:\nmem:   %+v\nstore: %+v", a, b)
+	}
+}
+
+func TestLogCorpusKeepsDuplicatesAndOrder(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	lines := []string{"q1", "q2", "q1", "", "q3", "q1"}
+
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.IngestLog(ctx, "log", lines[:3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Second batch in a second segment, after a reopen.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err = Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.IngestLog(ctx, "log", lines[3:]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.LogLines(ctx, "log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, lines) {
+		t.Fatalf("log lines diverge: got %q want %q", got, lines)
+	}
+}
+
+func TestCompactMergesToOneSegment(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	all := testTriples(17, 300)
+	want := memGraph(all)
+
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < len(all); i += 60 {
+		end := i + 60
+		if end > len(all) {
+			end = len(all)
+		}
+		if _, err := st.IngestTriples(ctx, "g", all[i:end]); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Flush(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.IngestLog(ctx, "log", []string{"a", "b", "c"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Compact(ctx); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := st.StoreStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Segments != 1 {
+		t.Fatalf("compaction left %d segments", stats.Segments)
+	}
+	sg, err := st.Graph(ctx, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sg.Triples()
+	wantT := append([]rdf.Triple(nil), want.Triples()...)
+	sortTriples(got)
+	sortTriples(wantT)
+	if !reflect.DeepEqual(got, wantT) {
+		t.Fatalf("triples diverge after compaction")
+	}
+	if lines, err := st.LogLines(ctx, "log"); err != nil || !reflect.DeepEqual(lines, []string{"a", "b", "c"}) {
+		t.Fatalf("log lines diverge after compaction: %q %v", lines, err)
+	}
+	if err := st.Verify(ctx); err != nil {
+		t.Fatalf("verify after compaction: %v", err)
+	}
+}
+
+func TestOpenExistingRefusesMissingStore(t *testing.T) {
+	if _, err := OpenExisting(filepath.Join(t.TempDir(), "nope")); err == nil || !strings.Contains(err.Error(), "no store") {
+		t.Fatalf("missing dir: %v", err)
+	}
+	empty := t.TempDir()
+	if _, err := OpenExisting(empty); err == nil {
+		t.Fatalf("empty dir accepted as store")
+	}
+}
+
+func TestCorpusKindMismatch(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ctx := context.Background()
+	if _, err := st.IngestLog(ctx, "c", []string{"x"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.IngestTriples(ctx, "c", testTriples(1, 5)); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+	if _, err := st.Graph(ctx, "c"); err == nil {
+		t.Fatal("Graph over a log corpus accepted")
+	}
+	if _, err := st.Graph(ctx, "absent"); err == nil {
+		t.Fatal("Graph over an unknown corpus accepted")
+	}
+}
+
+func TestContextCancellationStopsScan(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ctx := context.Background()
+	if _, err := st.IngestTriples(ctx, "g", testTriples(3, 2000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	sg, err := st.Graph(cctx, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	_ = sg.Triples()
+	if sg.Err() == nil {
+		t.Fatal("cancelled scan reported no error")
+	}
+}

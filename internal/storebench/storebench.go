@@ -1,0 +1,165 @@
+// Package storebench benchmarks the persistent corpus store
+// (internal/store) on a seeded synthetic graph and distills the run
+// into a committed machine-readable baseline (BENCH_store.json):
+// ingest throughput, range-scan throughput, reopen (recovery) latency,
+// and on-disk bytes per triple.
+//
+// The graph comes from rdf.DefaultGen — the same generator the paper
+// experiments use — so the term-length and degree distributions the
+// codec sees match the analysis workload, not a synthetic best case.
+package storebench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// SchemaVersion identifies the report layout for downstream tooling
+// (the CI jq checks pin it).
+const SchemaVersion = 1
+
+// Config parameterizes a run.
+type Config struct {
+	// Dir is the store directory; the caller owns creation and cleanup
+	// (tests use t.TempDir, the CLI uses os.MkdirTemp).
+	Dir string
+	// Seed drives the graph generator.
+	Seed int64
+	// Triples is the generated graph size (default 20000).
+	Triples int
+	// ScanSubjects is how many per-subject prefix scans the range-scan
+	// phase issues on top of the full-index scan (default 200).
+	ScanSubjects int
+}
+
+func (c *Config) fill() {
+	if c.Triples <= 0 {
+		c.Triples = 20000
+	}
+	if c.ScanSubjects <= 0 {
+		c.ScanSubjects = 200
+	}
+}
+
+// Report is the whole baseline.
+type Report struct {
+	SchemaVersion int   `json:"schema_version"`
+	Seed          int64 `json:"seed"`
+	// Triples is the number of distinct triples committed (the
+	// generator may emit duplicates; dedup happens at ingest).
+	Triples int `json:"triples"`
+
+	IngestWallMS        float64 `json:"ingest_wall_ms"`
+	IngestTriplesPerSec float64 `json:"ingest_triples_per_sec"`
+
+	// ScanRows counts rows returned by one full SPO scan plus
+	// ScanSubjects per-subject prefix scans.
+	ScanRows       int     `json:"scan_rows"`
+	ScanWallMS     float64 `json:"scan_wall_ms"`
+	ScanRowsPerSec float64 `json:"scan_rows_per_sec"`
+
+	// ReopenMS is a cold OpenExisting: registry load, segment header
+	// and CRC validation, term-dictionary replay.
+	ReopenMS float64 `json:"reopen_ms"`
+
+	SegmentBytes   int64   `json:"segment_bytes"`
+	BytesPerTriple float64 `json:"bytes_per_triple"`
+}
+
+// Run executes the benchmark in cfg.Dir and returns the report.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg.fill()
+	rep := &Report{SchemaVersion: SchemaVersion, Seed: cfg.Seed}
+
+	g := rdf.DefaultGen().Graph(rand.New(rand.NewSource(cfg.Seed)), cfg.Triples)
+	triples := g.Triples()
+
+	st, err := store.Open(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+
+	start := time.Now()
+	added, err := st.IngestTriples(ctx, "bench", triples)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.Flush(ctx); err != nil {
+		return nil, err
+	}
+	ingest := time.Since(start)
+	rep.Triples = added
+	rep.IngestWallMS = ms(ingest)
+	rep.IngestTriplesPerSec = perSec(added, ingest)
+
+	// Range scans against the committed segments: one full SPO scan and
+	// a spread of per-subject prefix scans (the OutEdges access pattern
+	// of the path and algebra evaluators).
+	sg, err := st.Graph(ctx, "bench")
+	if err != nil {
+		return nil, err
+	}
+	subjects := sg.Subjects()
+	start = time.Now()
+	rows := len(sg.Triples())
+	for i := 0; i < cfg.ScanSubjects && len(subjects) > 0; i++ {
+		s := subjects[i*len(subjects)/cfg.ScanSubjects]
+		rows += len(sg.OutEdges(s))
+	}
+	scan := time.Since(start)
+	if err := sg.Err(); err != nil {
+		return nil, err
+	}
+	rep.ScanRows = rows
+	rep.ScanWallMS = ms(scan)
+	rep.ScanRowsPerSec = perSec(rows, scan)
+
+	if err := st.Close(); err != nil {
+		return nil, err
+	}
+
+	start = time.Now()
+	st2, err := store.OpenExisting(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	rep.ReopenMS = ms(time.Since(start))
+	defer st2.Close()
+
+	stats, err := st2.StoreStats()
+	if err != nil {
+		return nil, err
+	}
+	if stats.Triples != added {
+		return nil, fmt.Errorf("reopen lost triples: committed %d, recovered %d", added, stats.Triples)
+	}
+	rep.SegmentBytes = stats.SegmentBytes
+	if added > 0 {
+		rep.BytesPerTriple = float64(stats.SegmentBytes) / float64(added)
+	}
+	return rep, st2.Close()
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+func perSec(n int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) / d.Seconds()
+}
+
+// WriteJSON renders the report as indented JSON.
+func WriteJSON(w io.Writer, rep *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

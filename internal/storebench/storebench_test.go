@@ -1,0 +1,45 @@
+package storebench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+func TestRunProducesSaneReport(t *testing.T) {
+	rep, err := Run(context.Background(), Config{Dir: t.TempDir(), Seed: 1, Triples: 500, ScanSubjects: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != SchemaVersion {
+		t.Fatalf("schema version %d", rep.SchemaVersion)
+	}
+	if rep.Triples <= 0 {
+		t.Fatalf("triples %d", rep.Triples)
+	}
+	if rep.ScanRows < rep.Triples {
+		t.Fatalf("scan rows %d < triples %d", rep.ScanRows, rep.Triples)
+	}
+	if rep.IngestTriplesPerSec <= 0 || rep.ScanRowsPerSec <= 0 {
+		t.Fatalf("rates must be positive: %+v", rep)
+	}
+	if rep.BytesPerTriple <= 0 {
+		t.Fatalf("bytes per triple %f", rep.BytesPerTriple)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"schema_version", "triples", "ingest_triples_per_sec",
+		"scan_rows_per_sec", "reopen_ms", "bytes_per_triple"} {
+		if _, ok := decoded[k]; !ok {
+			t.Fatalf("report JSON missing %q", k)
+		}
+	}
+}
