@@ -15,7 +15,9 @@
 // -serve-load switches to the service load generator: sustained, seeded,
 // concurrent mixed traffic against rwdserve, distilled into a
 // BENCH_serve.json baseline (p50/p99 latency, RPS, cache hit rate,
-// timeout counts, span cost totals):
+// timeout counts, span cost totals, and the trace flight recorder's
+// recorded/evicted accounting — the recorder is always on, so the
+// baseline's RPS already prices in its overhead):
 //
 //	rwdbench -serve-load [-serve-url http://127.0.0.1:8080] \
 //	         [-serve-duration 10s] [-serve-concurrency 8] \
@@ -308,6 +310,9 @@ func runServeLoad(url string, seed int64, duration time.Duration, concurrency in
 		"rwdbench: %d requests in %.1fs — %.0f rps, p50 %.2fms, p99 %.2fms, cache hit rate %.1f%%, %d timeouts -> %s\n",
 		rep.Requests, rep.DurationSeconds, rep.RPS,
 		rep.LatencyMS.P50, rep.LatencyMS.P99, 100*rep.Cache.HitRate, rep.Timeouts, out)
+	fmt.Fprintf(os.Stderr,
+		"rwdbench: flight recorder: %.0f traces recorded (%.0f retained, %.0f evicted, %.0f dropped)\n",
+		rep.Recorder.Recorded, rep.Recorder.Retained, rep.Recorder.Evicted, rep.Recorder.Dropped)
 	return nil
 }
 

@@ -11,12 +11,20 @@
 //	         -default-deadline 2s -max-deadline 30s
 //
 // Endpoints: POST /v1/containment /v1/membership /v1/validate /v1/infer
-// /v1/analyze /v1/batch /v1/corpora; GET /v1/corpora /healthz /metrics.
+// /v1/analyze /v1/batch /v1/corpora; GET /v1/corpora /v1/traces
+// /v1/traces/{id} /healthz /metrics.
 // With -store-dir the server opens (or creates) a persistent corpus
 // store there: POST /v1/corpora ingests triples or query logs, and
 // /v1/analyze accepts "corpus": "<name>" to analyze committed data
 // instead of inline queries. See the README "Service API" and
 // "Persistent store" sections for request shapes and curl examples.
+//
+// Every finished request's span tree lands in the always-on flight
+// recorder (bounded ring, -trace-capacity / -trace-max-bytes) behind
+// GET /v1/traces; with -trace-dir the traces are also appended to a
+// size-rotated NDJSON log that survives restarts and is readable with
+// the rwdtrace CLI. Every /v1/* response carries an X-Trace-Id header
+// naming its recorded trace. See the README "Trace history" section.
 //
 // SIGTERM or SIGINT starts a graceful drain: the listener closes, in-
 // flight requests finish (bounded by -drain-timeout), then the process
@@ -28,6 +36,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -39,6 +48,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs/recorder"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -64,7 +74,32 @@ func main() {
 		"optional private address for the pprof debug server (e.g. localhost:6060); empty disables")
 	storeDir := flag.String("store-dir", "",
 		"directory of the persistent corpus store (created if missing); empty disables /v1/corpora and corpus-backed /v1/analyze")
+	traceCapacity := flag.Int("trace-capacity", 1024,
+		"flight-recorder ring capacity in traces (GET /v1/traces); negative disables the recorder")
+	traceMaxBytes := flag.Int64("trace-max-bytes", 32<<20,
+		"flight-recorder ring byte budget")
+	traceDir := flag.String("trace-dir", "",
+		"directory for the on-disk NDJSON trace log (created if missing, size-rotated; readable with rwdtrace -trace-dir); empty keeps traces in memory only")
+	traceFileBytes := flag.Int64("trace-file-bytes", 8<<20,
+		"size at which the -trace-dir log rotates to a new file")
+	traceMaxFiles := flag.Int("trace-max-files", 8,
+		"rotated -trace-dir files kept before the oldest is pruned")
 	flag.Parse()
+
+	var traceLog *recorder.Log
+	if *traceDir != "" && *traceCapacity >= 0 {
+		var err error
+		traceLog, err = recorder.OpenLog(*traceDir, recorder.LogConfig{
+			MaxFileBytes: *traceFileBytes,
+			MaxFiles:     *traceMaxFiles,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rwdserve: opening trace log:", err)
+			os.Exit(1)
+		}
+		defer traceLog.Close()
+		fmt.Fprintf(os.Stderr, "rwdserve trace log at %s\n", *traceDir)
+	}
 
 	srv := service.New(service.Config{
 		MaxInFlight:     *maxInflight,
@@ -75,10 +110,18 @@ func main() {
 		AnalyzeWorkers:  *analyzeWorkers,
 		SlowOpThreshold: *slowOpThreshold,
 		SlowOpSample:    *slowOpSample,
+		TraceCapacity:   *traceCapacity,
+		TraceMaxBytes:   *traceMaxBytes,
+		TraceLog:        traceLog,
 	})
 
 	if *storeDir != "" {
-		st, err := store.Open(*storeDir)
+		// Open under a root span so the open/recovery work (segments
+		// validated, torn temp files discarded) is itself the first
+		// trace in the flight recorder.
+		ctx, root := srv.Tracer().StartRoot(context.Background(), "rwdserve.startup")
+		st, err := store.OpenCtx(ctx, *storeDir)
+		root.Finish()
 		if err != nil {
 			// A corrupt store must stop the server loudly rather than serve
 			// 503s that look like a missing -store-dir.

@@ -139,6 +139,24 @@ func (s *Span) Name() string {
 	return s.name
 }
 
+// Parent returns the span's parent, nil for a root span (and nil on a
+// nil receiver). The flight recorder uses it to capture exactly the
+// finished root spans.
+func (s *Span) Parent() *Span {
+	if s == nil {
+		return nil
+	}
+	return s.parent
+}
+
+// Start returns the span's start time (zero on nil).
+func (s *Span) Start() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.start
+}
+
 // TraceID renders the trace id shared by every span of the tree
 // ("" on nil).
 func (s *Span) TraceID() string {
@@ -285,6 +303,7 @@ func (s *Span) Counters() map[string]int64 {
 type Node struct {
 	Name       string            `json:"name"`
 	TraceID    string            `json:"trace_id,omitempty"` // root only
+	StartUS    int64             `json:"start_us,omitempty"` // wall-clock start, unix microseconds
 	DurationMS float64           `json:"duration_ms"`
 	Attrs      map[string]string `json:"attrs,omitempty"`
 	Counters   map[string]int64  `json:"counters,omitempty"`
@@ -299,6 +318,7 @@ func (s *Span) Tree() *Node {
 	}
 	n := &Node{
 		Name:       s.name,
+		StartUS:    s.start.UnixMicro(),
 		DurationMS: float64(s.Duration().Microseconds()) / 1000,
 		Counters:   s.Counters(),
 	}

@@ -177,6 +177,61 @@ func TestSlowLogThresholdAndSampling(t *testing.T) {
 	}
 }
 
+// TestSlowLogConcurrentInvariants finishes slow spans from many
+// goroutines and checks the sampling accounting: every slow span is
+// seen, and logged == ceil(seen/sample) — the 1-in-N guarantee holds
+// exactly even under contention because the sample decision is driven
+// by the atomic seen counter, not a racy local.
+func TestSlowLogConcurrentInvariants(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 250
+		sample     = 7
+	)
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	lockedBuf := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	sl := &SlowLog{Threshold: 0, Sample: sample, Logger: log.New(lockedBuf, "", 0)}
+	tr := &Tracer{Slow: sl}
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				_, s := tr.StartRoot(context.Background(), "slow")
+				s.Count("states_expanded", 1)
+				s.Finish()
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := int64(goroutines * perG)
+	if sl.Seen() != total {
+		t.Fatalf("seen = %d, want %d", sl.Seen(), total)
+	}
+	wantLogged := (total + sample - 1) / sample // ceil
+	if sl.Logged() != wantLogged {
+		t.Fatalf("logged = %d, want ceil(%d/%d) = %d", sl.Logged(), total, sample, wantLogged)
+	}
+	mu.Lock()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	mu.Unlock()
+	if int64(len(lines)) != wantLogged {
+		t.Fatalf("emitted lines = %d, want %d", len(lines), wantLogged)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
 func TestSlowLogFastSpansIgnored(t *testing.T) {
 	sl := &SlowLog{Threshold: time.Hour}
 	tr := &Tracer{Slow: sl}

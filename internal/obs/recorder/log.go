@@ -1,0 +1,211 @@
+package recorder
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Trace log file naming: traces-000042.ndjson, one JSON trace per line,
+// rotated by size. Appends are not fsynced — the trace log is telemetry,
+// not a write-ahead log — so a crash can tear the final line; the reader
+// tolerates exactly that.
+const (
+	logPrefix = "traces-"
+	logSuffix = ".ndjson"
+)
+
+// Log is the on-disk NDJSON trace log: an append-only sequence of
+// size-rotated files in one directory. Safe for concurrent Append.
+type Log struct {
+	dir          string
+	maxFileBytes int64
+	maxFiles     int
+
+	mu   sync.Mutex
+	f    *os.File
+	size int64
+	seq  uint64
+}
+
+// LogConfig parameterizes OpenLog; the zero value is usable.
+type LogConfig struct {
+	// MaxFileBytes rotates the active file once it exceeds this size;
+	// <= 0 means 8 MiB.
+	MaxFileBytes int64
+	// MaxFiles prunes the oldest rotated files beyond this count;
+	// <= 0 means 8.
+	MaxFiles int
+}
+
+// OpenLog opens (creating if needed) the trace log in dir and resumes
+// after the highest existing file sequence number.
+func OpenLog(dir string, cfg LogConfig) (*Log, error) {
+	if cfg.MaxFileBytes <= 0 {
+		cfg.MaxFileBytes = 8 << 20
+	}
+	if cfg.MaxFiles <= 0 {
+		cfg.MaxFiles = 8
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, maxFileBytes: cfg.MaxFileBytes, maxFiles: cfg.MaxFiles}
+	names, err := logFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) > 0 {
+		last := names[len(names)-1]
+		seq, err := logSeq(last)
+		if err != nil {
+			return nil, err
+		}
+		l.seq = seq
+		f, err := os.OpenFile(filepath.Join(dir, last), os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		l.f, l.size = f, st.Size()
+	}
+	return l, nil
+}
+
+// Append writes one trace as an NDJSON line, rotating first if the
+// active file is full.
+func (l *Log) Append(t *Trace) error {
+	raw, err := json.Marshal(t)
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil || l.size >= l.maxFileBytes {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	n, err := l.f.Write(raw)
+	l.size += int64(n)
+	return err
+}
+
+func (l *Log) rotateLocked() error {
+	if l.f != nil {
+		l.f.Close()
+		l.f = nil
+		l.seq++
+	}
+	f, err := os.OpenFile(
+		filepath.Join(l.dir, fmt.Sprintf("%s%06d%s", logPrefix, l.seq, logSuffix)),
+		os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	l.f, l.size = f, 0
+	if st, err := f.Stat(); err == nil {
+		l.size = st.Size()
+	}
+	// Prune the oldest files beyond the retention bound; pruning
+	// failures are not append failures.
+	if names, err := logFiles(l.dir); err == nil {
+		for len(names) > l.maxFiles {
+			os.Remove(filepath.Join(l.dir, names[0]))
+			names = names[1:]
+		}
+	}
+	return nil
+}
+
+// Close closes the active file. Further Appends reopen it.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+// logFiles lists the directory's trace log files, sorted by sequence
+// (name order, fixed-width sequence numbers).
+func logFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, logPrefix) && strings.HasSuffix(name, logSuffix) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func logSeq(name string) (uint64, error) {
+	s := strings.TrimSuffix(strings.TrimPrefix(name, logPrefix), logSuffix)
+	seq, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("recorder: %s: bad trace log name: %v", name, err)
+	}
+	return seq, nil
+}
+
+// ReadDir reads every trace from the log files in dir, oldest first.
+// Unparseable lines — the torn tail of a crashed writer, or a line
+// damaged after the fact — are skipped and counted in discarded, never
+// fatal: a flight recorder that refuses to replay after a crash would
+// defeat its purpose.
+func ReadDir(dir string) (traces []*Trace, discarded int, err error) {
+	names, err := logFiles(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(names) == 0 {
+		return nil, 0, fmt.Errorf("recorder: no %s*%s files in %s", logPrefix, logSuffix, dir)
+	}
+	for _, name := range names {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, discarded, err
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			var t Trace
+			if err := json.Unmarshal(line, &t); err != nil || t.TraceID == "" {
+				discarded++
+				continue
+			}
+			traces = append(traces, &t)
+		}
+		serr := sc.Err()
+		f.Close()
+		if serr != nil {
+			return nil, discarded, fmt.Errorf("recorder: %s: %v", name, serr)
+		}
+	}
+	return traces, discarded, nil
+}

@@ -1,0 +1,86 @@
+package recorder
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/obs"
+)
+
+// Perfetto export: the Chrome trace-event JSON format (the "JSON Array
+// Format" with an object wrapper), loadable directly in Perfetto or
+// chrome://tracing.
+//
+// Mapping:
+//   - one pid per trace, so Perfetto renders each trace as its own
+//     process group, named "<op> <trace_id>" via a process_name
+//     metadata event;
+//   - every span is one complete ("X") event: ts/dur in microseconds
+//     from the span's wall-clock start, tid = tree depth so parent and
+//     child land on separate tracks even when concurrent shard spans
+//     overlap in time;
+//   - cost counters and attrs ride in args, where Perfetto's slice
+//     details pane shows them.
+
+// event is one trace-event line. Ts and Dur are microseconds.
+type event struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type perfettoDoc struct {
+	TraceEvents     []event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+// WritePerfetto renders traces as trace-event JSON.
+func WritePerfetto(w io.Writer, traces []*Trace) error {
+	doc := perfettoDoc{TraceEvents: []event{}, DisplayTimeUnit: "ms"}
+	for i, t := range traces {
+		pid := i + 1
+		doc.TraceEvents = append(doc.TraceEvents, event{
+			Name: "process_name",
+			Ph:   "M",
+			Pid:  pid,
+			Args: map[string]any{"name": fmt.Sprintf("%s %s", t.Op, t.TraceID)},
+		})
+		appendSpanEvents(&doc.TraceEvents, t, t.Root, pid, 0)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+func appendSpanEvents(out *[]event, t *Trace, n *obs.Node, pid, depth int) {
+	if n == nil {
+		return
+	}
+	ev := event{
+		Name: n.Name,
+		Ph:   "X",
+		Ts:   n.StartUS,
+		Dur:  int64(n.DurationMS * 1000),
+		Pid:  pid,
+		Tid:  depth,
+		Cat:  t.Op,
+	}
+	if len(n.Counters) > 0 || len(n.Attrs) > 0 {
+		ev.Args = make(map[string]any, len(n.Counters)+len(n.Attrs))
+		for k, v := range n.Counters {
+			ev.Args[k] = v
+		}
+		for k, v := range n.Attrs {
+			ev.Args[k] = v
+		}
+	}
+	*out = append(*out, ev)
+	for _, c := range n.Children {
+		appendSpanEvents(out, t, c, pid, depth+1)
+	}
+}

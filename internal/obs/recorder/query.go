@@ -1,0 +1,114 @@
+package recorder
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Sort orders for Query.
+const (
+	SortRecent  = "recent"  // newest first (default)
+	SortSlowest = "slowest" // longest duration first
+)
+
+// Query selects and orders traces: the parameter set of
+// GET /v1/traces and of the rwdtrace filters. The zero value matches
+// everything, newest first, capped at DefaultLimit.
+type Query struct {
+	// Op filters on the trace op (root span name with the "http."
+	// prefix trimmed, e.g. "containment"); empty matches all.
+	Op string
+	// Status filters on the recorded HTTP status code ("200", "504");
+	// empty matches all.
+	Status string
+	// MinMS keeps only traces at least this many milliseconds long.
+	MinMS float64
+	// Since keeps only traces that started within this window of now;
+	// 0 means no time filter.
+	Since time.Duration
+	// Limit caps the result count; 0 means DefaultLimit, < 0 means
+	// unlimited.
+	Limit int
+	// Sort is SortRecent (default) or SortSlowest.
+	Sort string
+}
+
+// DefaultLimit is the result cap applied when a query names none.
+const DefaultLimit = 50
+
+// ParseQuery reads a Query from URL parameters (op, status, min_ms,
+// since, limit, sort). since accepts a Go duration ("90s", "1h").
+func ParseQuery(v url.Values) (Query, error) {
+	q := Query{Op: v.Get("op"), Status: v.Get("status"), Sort: v.Get("sort")}
+	if s := v.Get("min_ms"); s != "" {
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return q, fmt.Errorf("min_ms: %v", err)
+		}
+		q.MinMS = f
+	}
+	if s := v.Get("since"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			return q, fmt.Errorf("since: %v (want a duration like 10m)", err)
+		}
+		q.Since = d
+	}
+	if s := v.Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			return q, fmt.Errorf("limit: %v", err)
+		}
+		q.Limit = n
+	}
+	switch q.Sort {
+	case "", SortRecent, SortSlowest:
+	default:
+		return q, fmt.Errorf("sort: %q (want %s or %s)", q.Sort, SortRecent, SortSlowest)
+	}
+	return q, nil
+}
+
+// Apply filters ts (oldest first, as Snapshot and ReadDir return) and
+// returns the selected traces in query order.
+func (q Query) Apply(ts []*Trace, now time.Time) []*Trace {
+	var out []*Trace
+	cutoff := time.Time{}
+	if q.Since > 0 {
+		cutoff = now.Add(-q.Since)
+	}
+	for _, t := range ts {
+		if q.Op != "" && t.Op != q.Op {
+			continue
+		}
+		if q.Status != "" && t.Status != q.Status {
+			continue
+		}
+		if t.DurationMS < q.MinMS {
+			continue
+		}
+		if !cutoff.IsZero() && t.Start.Before(cutoff) {
+			continue
+		}
+		out = append(out, t)
+	}
+	if q.Sort == SortSlowest {
+		sort.SliceStable(out, func(i, j int) bool { return out[i].DurationMS > out[j].DurationMS })
+	} else {
+		// newest first; input is oldest first, so reverse
+		for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+			out[i], out[j] = out[j], out[i]
+		}
+	}
+	limit := q.Limit
+	if limit == 0 {
+		limit = DefaultLimit
+	}
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}

@@ -246,6 +246,17 @@ type CacheStats struct {
 	HitRate float64 `json:"hit_rate"`
 }
 
+// RecorderStats is the flight recorder's /metrics view of the run:
+// Recorded/Evicted/Dropped are deltas (cumulative counters), Retained
+// and Bytes the ring's state at the end of the run.
+type RecorderStats struct {
+	Recorded float64 `json:"recorded"`
+	Evicted  float64 `json:"evicted"`
+	Dropped  float64 `json:"dropped"`
+	Retained float64 `json:"retained"`
+	Bytes    float64 `json:"bytes"`
+}
+
 // Report is the persisted baseline: what BENCH_serve.json holds. All
 // counters are deltas over the run (scraped from /metrics before and
 // after), so a shared or long-running server still yields honest
@@ -273,6 +284,10 @@ type Report struct {
 	ClientClosed   float64 `json:"client_closed"`
 
 	Cache CacheStats `json:"cache"`
+	// Recorder is the trace flight recorder's accounting over the run —
+	// the overhead evidence for the always-on recorder (see
+	// TestRecorderOverheadUnderFivePercent for the latency bound).
+	Recorder RecorderStats `json:"recorder"`
 	// SpanCost holds the rwd_span_cost_total deltas, keyed
 	// "span/counter" — the algorithmic work (states expanded, queries
 	// ingested, …) the run induced server-side.
@@ -402,6 +417,13 @@ func buildReport(cfg Config, elapsed time.Duration, all []sample, before, after 
 	}
 	if lookups := rep.Cache.Hits + rep.Cache.Misses; lookups > 0 {
 		rep.Cache.HitRate = rep.Cache.Hits / lookups
+	}
+	rep.Recorder = RecorderStats{
+		Recorded: delta("rwd_traces_recorded_total"),
+		Evicted:  delta("rwd_traces_evicted_total"),
+		Dropped:  delta("rwd_traces_dropped_total"),
+		Retained: after["rwd_traces_retained"],
+		Bytes:    after["rwd_trace_bytes"],
 	}
 	rep.ServerTimeouts = sumPrefixDelta(before, after, "rwdserve_timeouts_total")
 	rep.ClientClosed = sumPrefixDelta(before, after, "rwdserve_client_closed_total")

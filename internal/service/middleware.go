@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/recorder"
 )
 
 // apiError is an error with an HTTP status. Handlers return it instead of
@@ -145,17 +146,37 @@ func (g *slotGuard) maybeReleaseLocked() {
 	}
 }
 
-// endpoint wraps h in the shared middleware stack: admission control,
-// request-size cap, one envelope parse, per-request deadline, root span,
-// response rendering (with the span tree merged in for "explain": true),
-// latency histogram, request/timeout/client-closed counters, and a
-// structured access log line.
+// endpoint wraps h in the shared middleware stack: root span (with the
+// trace id echoed in the X-Trace-Id response header), admission control,
+// request-size cap, one envelope parse, per-request deadline, response
+// rendering (with the span tree merged in for "explain": true), latency
+// histogram, request/timeout/client-closed counters, and a structured
+// access log line.
 func (s *Server) endpoint(name string, h handlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		code := http.StatusOK
-		traceID := ""
+
+		// Every request — including the ones admission control or the
+		// body cap rejects — runs under a root span: its id goes out in
+		// the X-Trace-Id header so any client error report can be joined
+		// to the recorded trace, and its finish feeds the rwd_span_*
+		// metrics, the slow-op log, and the flight recorder whether or
+		// not the client asked for explain mode.
+		rctx, span := s.tracer.StartRoot(r.Context(), "http."+name)
+		traceID := span.TraceID()
+		w.Header().Set("X-Trace-Id", traceID)
+		finished := false
+		finish := func() {
+			if !finished {
+				finished = true
+				span.SetAttr(recorder.StatusAttr, strconv.Itoa(code))
+				span.Finish()
+			}
+		}
+
 		defer func() {
+			finish()
 			elapsed := time.Since(start)
 			s.reqTotal.With(name, fmt.Sprintf("%d", code)).Inc()
 			s.latency.With(name).Observe(elapsed.Seconds())
@@ -205,22 +226,17 @@ func (s *Server) endpoint(name string, h handlerFunc) http.Handler {
 		req.query = r.URL.Query()
 		req.env = parseEnvelope(req)
 
-		ctx, cancel := context.WithTimeout(r.Context(), s.deadline(req.env))
+		ctx, cancel := context.WithTimeout(rctx, s.deadline(req.env))
 		defer cancel()
 
-		// Every admitted request runs under a root span: the engines'
-		// child spans feed the rwd_span_* metrics and the slow-op log
-		// whether or not the client asked for explain mode.
-		ctx, span := s.tracer.StartRoot(ctx, "http."+name)
-		traceID = span.TraceID()
-
 		out, aerr := h(ctx, req)
-		span.Finish()
 		if aerr != nil {
 			code = aerr.status
+			finish()
 			writeJSON(w, code, map[string]string{"error": aerr.msg})
 			return
 		}
+		finish()
 		if req.env.Explain {
 			out = withTrace(out, span.Tree())
 		}

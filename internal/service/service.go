@@ -29,12 +29,14 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/cache"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/obs/recorder"
 	"repro/internal/store"
 )
 
@@ -64,6 +66,16 @@ type Config struct {
 	// SlowOpSample emits 1 of every SlowOpSample slow spans (the rest
 	// are counted, not logged); <= 1 emits all.
 	SlowOpSample int64
+	// TraceCapacity bounds the flight-recorder ring (retained root
+	// span trees, queryable via GET /v1/traces); 0 means 1024, < 0
+	// disables the recorder entirely.
+	TraceCapacity int
+	// TraceMaxBytes byte-budgets the flight-recorder ring; <= 0 means
+	// 32 MiB.
+	TraceMaxBytes int64
+	// TraceLog, when non-nil, persists every recorded trace to the
+	// on-disk NDJSON trace log (rwdserve -trace-dir).
+	TraceLog *recorder.Log
 	// Logger receives structured access and error logs; nil means stderr.
 	Logger *log.Logger
 }
@@ -109,6 +121,9 @@ type Server struct {
 	cache  *cache.Cache
 	sem    chan struct{}
 	tracer *obs.Tracer
+	// flight is the always-on trace flight recorder behind GET
+	// /v1/traces; nil when Config.TraceCapacity < 0.
+	flight *recorder.Ring
 	// store is the optional persistent corpus store (AttachStore); nil
 	// means the corpus endpoints answer 503.
 	store *store.Store
@@ -120,6 +135,9 @@ type Server struct {
 	clientClosed *metrics.CounterVec   // endpoint
 	spanSecs     *metrics.HistogramVec // span
 	spanCost     *metrics.CounterVec   // span, counter
+
+	storeFlushSecs   *metrics.Histogram // store.flush span durations
+	storeCompactions *metrics.Counter   // store.compact spans finished
 
 	// detached counts engine goroutines that outlived their request and
 	// still hold their admission slot (see slotGuard).
@@ -171,6 +189,26 @@ func New(cfg Config) *Server {
 	s.spanCost = s.reg.CounterVec("rwd_span_cost_total",
 		"Accumulated span cost counters (states expanded, queries ingested, ...), by span name and counter.",
 		"span", "counter")
+
+	// Store maintenance telemetry: the store.flush / store.compact spans
+	// recorded by internal/store feed dedicated metric families, so
+	// flush latency and compaction counts are visible without parsing
+	// span metrics.
+	s.storeFlushSecs = s.reg.Histogram("rwd_store_flush_seconds",
+		"store.flush span durations in seconds (memtable commit to a segment).", metrics.DefBuckets)
+	s.storeCompactions = s.reg.Counter("rwd_store_compactions_total",
+		"store.compact spans finished (segment merges).")
+
+	// The flight recorder retains every finished root span tree in a
+	// bounded ring, queryable via GET /v1/traces; the queries' own
+	// root spans are excluded so reading the recorder never pollutes it.
+	if cfg.TraceCapacity >= 0 {
+		s.flight = recorder.New(recorder.Config{
+			Capacity: cfg.TraceCapacity,
+			MaxBytes: cfg.TraceMaxBytes,
+			Log:      cfg.TraceLog,
+		})
+	}
 	s.tracer = &obs.Tracer{
 		OnFinish: func(sp *obs.Span) {
 			s.spanSecs.With(sp.Name()).Observe(sp.Duration().Seconds())
@@ -179,12 +217,38 @@ func New(cfg Config) *Server {
 					s.spanCost.With(sp.Name(), name).Add(v)
 				}
 			}
+			switch sp.Name() {
+			case "store.flush":
+				s.storeFlushSecs.Observe(sp.Duration().Seconds())
+			case "store.compact":
+				s.storeCompactions.Inc()
+			}
+			if sp.Parent() == nil && !strings.HasPrefix(sp.Name(), "http.trace") {
+				s.flight.Record(recorder.FromSpan(sp))
+			}
 		},
 		Slow: &obs.SlowLog{
 			Threshold: cfg.SlowOpThreshold,
 			Sample:    cfg.SlowOpSample,
 			Logger:    cfg.Logger,
 		},
+	}
+	if s.flight != nil {
+		s.reg.GaugeFunc("rwd_traces_recorded_total",
+			"Root span trees admitted to the flight recorder.",
+			func() float64 { return float64(s.flight.Stats().Recorded) })
+		s.reg.GaugeFunc("rwd_traces_retained",
+			"Root span trees currently held in the flight-recorder ring.",
+			func() float64 { return float64(s.flight.Stats().Retained) })
+		s.reg.GaugeFunc("rwd_traces_evicted_total",
+			"Flight-recorder traces evicted to respect the capacity or byte budget.",
+			func() float64 { return float64(s.flight.Stats().Evicted) })
+		s.reg.GaugeFunc("rwd_traces_dropped_total",
+			"Traces never admitted because a single tree exceeded the whole byte budget.",
+			func() float64 { return float64(s.flight.Stats().Dropped) })
+		s.reg.GaugeFunc("rwd_trace_bytes",
+			"Exported-tree JSON bytes currently retained by the flight recorder.",
+			func() float64 { return float64(s.flight.Stats().Bytes) })
 	}
 	s.reg.GaugeFunc("rwd_slow_ops_seen_total",
 		"Spans that exceeded the slow-op threshold.",
@@ -226,6 +290,11 @@ func New(cfg Config) *Server {
 	s.mux.Handle("POST /v1/batch", s.endpoint("batch", s.handleBatch))
 	s.mux.Handle("GET /v1/corpora", s.endpoint("corpora", s.handleCorporaList))
 	s.mux.Handle("POST /v1/corpora", s.endpoint("corpora_ingest", s.handleCorporaIngest))
+	// The trace query endpoints bypass admission control like healthz
+	// and metrics: the flight recorder exists to diagnose a saturated
+	// server, so it must answer while the server is saturated.
+	s.mux.Handle("GET /v1/traces", s.traceEndpoint("traces", s.handleTracesQuery))
+	s.mux.Handle("GET /v1/traces/{id}", s.traceEndpoint("trace_get", s.handleTraceGet))
 	// healthz and metrics bypass admission control: they must answer even
 	// (especially) when the server is saturated.
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -238,6 +307,15 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Registry exposes the metrics registry (for tests and embedders).
 func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// Tracer exposes the server's tracer so embedders (cmd/rwdserve) can
+// run startup work — store open/recovery — under a root span that
+// lands in the flight recorder and the span metrics like any request.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// FlightStats exposes the flight recorder's accounting (zero when the
+// recorder is disabled).
+func (s *Server) FlightStats() recorder.Stats { return s.flight.Stats() }
 
 // CacheStats exposes the verdict-cache counters (for tests and embedders).
 func (s *Server) CacheStats() cache.Stats { return s.cache.Stats() }

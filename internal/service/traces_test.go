@@ -1,0 +1,363 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs/recorder"
+)
+
+// postResp is post without JSON decoding: the response (for headers
+// and status) plus the raw body.
+func postResp(t *testing.T, base, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+func TestTraceIDHeaderOnAllResponses(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 1024})
+
+	// 200: a normal request.
+	resp, _ := postResp(t, ts.URL, "/v1/containment", `{"engine":"regex","left":"a","right":"a*"}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("code = %d, want 200", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Trace-Id") == "" {
+		t.Fatal("200 response missing X-Trace-Id")
+	}
+
+	// 400: a malformed envelope.
+	resp, _ = postResp(t, ts.URL, "/v1/containment", `{not json`)
+	if resp.StatusCode != 400 {
+		t.Fatalf("code = %d, want 400", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Trace-Id") == "" {
+		t.Fatal("400 response missing X-Trace-Id")
+	}
+
+	// 413: a body over the cap.
+	big := `{"engine":"regex","left":"` + strings.Repeat("a ", 2000) + `","right":"a*"}`
+	resp, _ = postResp(t, ts.URL, "/v1/containment", big)
+	if resp.StatusCode != 413 {
+		t.Fatalf("code = %d, want 413", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Trace-Id") == "" {
+		t.Fatal("413 response missing X-Trace-Id")
+	}
+
+	// The trace endpoints themselves carry the header too.
+	getResp, err := http.Get(ts.URL + "/v1/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.Header.Get("X-Trace-Id") == "" {
+		t.Fatal("/v1/traces response missing X-Trace-Id")
+	}
+}
+
+func TestTraceIDHeaderOn429(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxInFlight: 1})
+	slow := make(chan int, 1)
+	go func() {
+		slow <- post(t, ts.URL, "/v1/containment", adversarialContainment(2000), nil)
+	}()
+	time.Sleep(100 * time.Millisecond)
+	resp, _ := postResp(t, ts.URL, "/v1/membership", `{"expr":"a","word":["a"]}`)
+	if resp.StatusCode != 429 {
+		t.Fatalf("code = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Trace-Id") == "" {
+		t.Fatal("429 response missing X-Trace-Id")
+	}
+	if got := <-slow; got != 504 {
+		t.Fatalf("slow request code = %d, want 504", got)
+	}
+}
+
+func TestTraceRoundTripByHeader(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, _ := postResp(t, ts.URL, "/v1/containment", `{"engine":"regex","left":"(a|b)*abb","right":"(a|b)*"}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("code = %d, want 200", resp.StatusCode)
+	}
+	id := resp.Header.Get("X-Trace-Id")
+	if id == "" {
+		t.Fatal("missing X-Trace-Id")
+	}
+
+	getResp, err := http.Get(ts.URL + "/v1/traces/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer getResp.Body.Close()
+	if getResp.StatusCode != 200 {
+		raw, _ := io.ReadAll(getResp.Body)
+		t.Fatalf("GET /v1/traces/%s = %d: %s", id, getResp.StatusCode, raw)
+	}
+	var tr recorder.Trace
+	if err := json.NewDecoder(getResp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.TraceID != id {
+		t.Fatalf("trace id = %q, want %q", tr.TraceID, id)
+	}
+	if tr.Op != "containment" {
+		t.Fatalf("op = %q, want containment", tr.Op)
+	}
+	if tr.Status != "200" {
+		t.Fatalf("status = %q, want 200", tr.Status)
+	}
+	if tr.Root == nil {
+		t.Fatal("trace has no span tree")
+	}
+	if got := recorder.CounterSum(tr.Root, "states_expanded"); got == 0 {
+		t.Fatalf("states_expanded = 0, want the engine's cost counters in the tree:\n%+v", tr.Root)
+	}
+
+	// An unknown id is a 404, not an empty trace.
+	missResp, err := http.Get(ts.URL + "/v1/traces/no-such-trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	missResp.Body.Close()
+	if missResp.StatusCode != 404 {
+		t.Fatalf("unknown trace = %d, want 404", missResp.StatusCode)
+	}
+}
+
+func TestTracesQueryFiltersAndSort(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for i := 0; i < 3; i++ {
+		post(t, ts.URL, "/v1/containment", `{"engine":"regex","left":"a","right":"a*"}`, nil)
+	}
+	post(t, ts.URL, "/v1/membership", `{"expr":"a","word":["a"]}`, nil)
+
+	var out struct {
+		Count  int               `json:"count"`
+		Traces []*recorder.Trace `json:"traces"`
+		Stats  recorder.Stats    `json:"stats"`
+	}
+	get := func(query string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/traces" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			raw, _ := io.ReadAll(resp.Body)
+			t.Fatalf("GET /v1/traces%s = %d: %s", query, resp.StatusCode, raw)
+		}
+		out = struct {
+			Count  int               `json:"count"`
+			Traces []*recorder.Trace `json:"traces"`
+			Stats  recorder.Stats    `json:"stats"`
+		}{}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	get("")
+	if out.Count != 4 || len(out.Traces) != 4 {
+		t.Fatalf("count = %d (%d traces), want 4", out.Count, len(out.Traces))
+	}
+	if out.Stats.Recorded != 4 || out.Stats.Retained != 4 {
+		t.Fatalf("stats = %+v, want recorded=retained=4", out.Stats)
+	}
+
+	get("?op=containment")
+	if out.Count != 3 {
+		t.Fatalf("op=containment count = %d, want 3", out.Count)
+	}
+	for _, tr := range out.Traces {
+		if tr.Op != "containment" {
+			t.Fatalf("filtered result has op %q", tr.Op)
+		}
+	}
+
+	get("?sort=slowest&limit=2")
+	if out.Count != 2 {
+		t.Fatalf("limit=2 count = %d", out.Count)
+	}
+	if len(out.Traces) == 2 && out.Traces[0].DurationMS < out.Traces[1].DurationMS {
+		t.Fatalf("sort=slowest out of order: %v then %v",
+			out.Traces[0].DurationMS, out.Traces[1].DurationMS)
+	}
+
+	// Reading /v1/traces must not record itself: still 4 recorded.
+	get("")
+	if out.Stats.Recorded != 4 {
+		t.Fatalf("recorded grew to %d after queries — the recorder is polluting itself", out.Stats.Recorded)
+	}
+
+	// Bad parameters are 400s.
+	resp, err := http.Get(ts.URL + "/v1/traces?sort=biggest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("sort=biggest = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestTracesPerfettoExport(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	post(t, ts.URL, "/v1/containment", `{"engine":"regex","left":"a","right":"a*"}`, nil)
+
+	resp, err := http.Get(ts.URL + "/v1/traces?format=perfetto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("code = %d, want 200", resp.StatusCode)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("perfetto export is not valid JSON: %v", err)
+	}
+	if doc.Unit != "ms" || len(doc.TraceEvents) == 0 {
+		t.Fatalf("doc = unit %q, %d events; want ms and > 0", doc.Unit, len(doc.TraceEvents))
+	}
+}
+
+func TestRecorderDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{TraceCapacity: -1})
+	// Requests still work and still carry a trace id...
+	resp, _ := postResp(t, ts.URL, "/v1/containment", `{"engine":"regex","left":"a","right":"a*"}`)
+	if resp.StatusCode != 200 || resp.Header.Get("X-Trace-Id") == "" {
+		t.Fatalf("code = %d, header = %q", resp.StatusCode, resp.Header.Get("X-Trace-Id"))
+	}
+	// ...but the query surface reports the recorder off.
+	getResp, err := http.Get(ts.URL + "/v1/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != 503 {
+		t.Fatalf("GET /v1/traces with recorder off = %d, want 503", getResp.StatusCode)
+	}
+}
+
+func TestTraceLogSurvivesServer(t *testing.T) {
+	dir := t.TempDir()
+	lg, err := recorder.OpenLog(dir, recorder.LogConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{TraceLog: lg})
+	resp, _ := postResp(t, ts.URL, "/v1/containment", `{"engine":"regex","left":"a","right":"a*"}`)
+	id := resp.Header.Get("X-Trace-Id")
+	ts.Close() // "server restart"
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	traces, discarded, err := recorder.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if discarded != 0 {
+		t.Fatalf("discarded = %d, want 0", discarded)
+	}
+	var found bool
+	for _, tr := range traces {
+		if tr.TraceID == id {
+			found = true
+			if tr.Op != "containment" {
+				t.Fatalf("logged op = %q, want containment", tr.Op)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("trace %s not in on-disk log (have %d traces)", id, len(traces))
+	}
+}
+
+func TestTracesRecordedMetricsExposed(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	post(t, ts.URL, "/v1/containment", `{"engine":"regex","left":"a","right":"a*"}`, nil)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	body := string(raw)
+	for _, want := range []string{
+		"rwd_traces_recorded_total", "rwd_traces_retained",
+		"rwd_traces_evicted_total", "rwd_traces_dropped_total", "rwd_trace_bytes",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %s", want)
+		}
+	}
+	if st := s.FlightStats(); st.Recorded == 0 {
+		t.Fatalf("flight stats = %+v, want recorded > 0", st)
+	}
+}
+
+// TestRecorderOverheadUnderFivePercent pins the recorder's hot-path
+// cost: exporting a finished request's span tree and admitting it into
+// the ring must cost less than 5% of serving the request itself. The
+// request side is measured end to end over the HTTP stack — the
+// denominator a production operator would see.
+func TestRecorderOverheadUnderFivePercent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	s, ts := newTestServer(t, Config{})
+	const reqN = 200
+	body := `{"engine":"regex","left":"(a|b)*abb","right":"(a|b)*"}`
+	// Warm the stack (connection setup, first-request caches).
+	for i := 0; i < 10; i++ {
+		post(t, ts.URL, "/v1/containment", fmt.Sprintf(`{"engine":"regex","left":"a{%d}","right":"a*"}`, i+1), nil)
+	}
+	reqStart := time.Now()
+	for i := 0; i < reqN; i++ {
+		if code := post(t, ts.URL, "/v1/containment", body, nil); code != 200 {
+			t.Fatalf("code = %d", code)
+		}
+	}
+	perRequest := time.Since(reqStart) / reqN
+
+	// A representative recorded trace from the run above.
+	snap := s.flight.Snapshot()
+	if len(snap) == 0 {
+		t.Fatal("nothing recorded")
+	}
+	sample := snap[len(snap)-1]
+	ring := recorder.New(recorder.Config{Capacity: 1024})
+	const recN = 50000
+	recStart := time.Now()
+	for i := 0; i < recN; i++ {
+		ring.Record(sample)
+	}
+	perRecord := time.Since(recStart) / recN
+
+	if perRecord*20 > perRequest {
+		t.Fatalf("recorder overhead %v per trace is not <5%% of %v per request", perRecord, perRequest)
+	}
+	t.Logf("per-request %v, per-record %v (%.3f%%)", perRequest, perRecord,
+		100*float64(perRecord)/float64(perRequest))
+}

@@ -143,10 +143,18 @@ type Store struct {
 // the term dictionary; leftover temp files from an interrupted flush
 // are deleted (they were never committed).
 func Open(dir string) (*Store, error) {
+	return OpenCtx(context.Background(), dir)
+}
+
+// OpenCtx is Open under a context: when ctx carries a span, the open /
+// recovery work is recorded as a store.open span with cost counters
+// (segments opened, torn temp files discarded, terms replayed), so a
+// server start after a crash leaves a trace of what recovery did.
+func OpenCtx(ctx context.Context, dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return open(dir)
+	return open(ctx, dir)
 }
 
 // OpenExisting opens the store at dir but refuses to create one: a
@@ -160,10 +168,16 @@ func OpenExisting(dir string) (*Store, error) {
 	if _, err := os.Stat(filepath.Join(dir, "corpora.json")); err != nil {
 		return nil, fmt.Errorf("store: %s: %w", dir, ErrNoStore)
 	}
-	return open(dir)
+	return open(context.Background(), dir)
 }
 
-func open(dir string) (*Store, error) {
+func open(ctx context.Context, dir string) (*Store, error) {
+	_, span := obs.StartSpan(ctx, "store.open")
+	defer span.Finish()
+	span.SetAttr("dir", dir)
+	tornTmp := span.Counter("torn_tmp_discarded")
+	segsOpened := span.Counter("segments_opened")
+
 	s := &Store{
 		dir:     dir,
 		mem:     map[string][]byte{},
@@ -193,6 +207,7 @@ func open(dir string) (*Store, error) {
 			// A crash mid-flush: the segment was never renamed into
 			// place, so it was never committed. Remove the debris.
 			os.Remove(filepath.Join(dir, name))
+			tornTmp.Inc()
 		case strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".seg"):
 			segPaths = append(segPaths, name)
 			if id, perr := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".seg"), 10, 64); perr == nil && id >= s.nextSeg {
@@ -208,11 +223,14 @@ func open(dir string) (*Store, error) {
 			return nil, err
 		}
 		s.segs = append(s.segs, seg)
+		segsOpened.Inc()
 	}
 	if err := s.recoverLogSeqs(); err != nil {
 		s.closeLocked()
 		return nil, err
 	}
+	span.Count("terms_replayed", int64(s.dict.len()))
+	span.Count("corpora_registered", int64(len(s.corpora)))
 	return s, nil
 }
 
@@ -639,6 +657,8 @@ func (s *Store) Compact(ctx context.Context) error {
 		os.Remove(seg.path)
 	}
 	span.Count("keys_compared", compared)
+	span.Count("keys_merged", int64(len(recs)))
+	span.Count("dup_keys_dropped", int64(len(recs)-len(dedup)))
 	span.Count("records_flushed", int64(len(dedup)))
 	span.Count("segments_merged", int64(len(old)))
 	return nil
