@@ -24,7 +24,19 @@
 //	         [-serve-out BENCH_serve.json] [-seed 1]
 //
 // With an empty -serve-url an in-process rwdserve is started on a
-// loopback listener, so a baseline never needs external setup.
+// loopback listener, so a baseline never needs external setup. The
+// baseline also carries the server's workload-profile block (per-op
+// server-side quantiles, error rates, and fitted cost models from
+// GET /v1/stats).
+//
+// -profile-check replays the same load and compares the fresh profile
+// block against the committed baseline, exiting 1 when any op drifted
+// beyond tolerance (default: p50/p99 within 10x either way, error and
+// timeout rates within 0.25 absolute, rows under 50 requests ignored):
+//
+//	rwdbench -profile-check [-profile-baseline BENCH_serve.json] \
+//	         [-profile-factor 10] [-serve-url ...] [-serve-duration 10s] \
+//	         [-serve-concurrency 8] [-seed 1]
 //
 // -automata benchmarks the antichain containment engine against the
 // retained classic eager engine on seeded instance families and writes
@@ -45,6 +57,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -82,6 +95,11 @@ func main() {
 	serveDuration := flag.Duration("serve-duration", 10*time.Second, "sustained-load window for -serve-load")
 	serveConcurrency := flag.Int("serve-concurrency", 8, "concurrent load workers for -serve-load")
 	serveOut := flag.String("serve-out", "BENCH_serve.json", "where -serve-load writes the baseline report")
+	profileCheck := flag.Bool("profile-check", false, "replay the serve load and gate this run's workload profile against a committed baseline (skips the paper experiments)")
+	profileBaseline := flag.String("profile-baseline", "BENCH_serve.json", "baseline report for -profile-check")
+	profileFactor := flag.Float64("profile-factor", 0, "latency-ratio tolerance for -profile-check; <= 1 means the default 10x")
+	profileMinReq := flag.Uint64("profile-min-requests", 0, "skip profile rows with fewer requests; 0 means the default 50")
+	profileRateDelta := flag.Float64("profile-rate-delta", 0, "absolute error/timeout rate drift tolerance; 0 means the default 0.25")
 	autoBench := flag.Bool("automata", false, "benchmark the antichain vs classic containment engines and write a BENCH_automata.json baseline (skips the paper experiments)")
 	autoOut := flag.String("automata-out", "BENCH_automata.json", "where -automata writes the baseline report")
 	autoBlowupK := flag.Int("automata-blowup-k", 14, "k of the adversarial-blowup family for -automata")
@@ -110,6 +128,19 @@ func main() {
 	if *serveLoad {
 		if err := runServeLoad(*serveURL, *seed, *serveDuration, *serveConcurrency, *serveOut); err != nil {
 			fmt.Fprintln(os.Stderr, "rwdbench: serve-load:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *profileCheck {
+		err := runProfileCheck(*serveURL, *seed, *serveDuration, *serveConcurrency,
+			*profileBaseline, serveload.ProfileTolerance{
+				Factor:      *profileFactor,
+				MinRequests: *profileMinReq,
+				RateDelta:   *profileRateDelta,
+			})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rwdbench: profile-check:", err)
 			os.Exit(1)
 		}
 		return
@@ -264,15 +295,15 @@ func runRDFStats(seed int64) {
 		st.PSOverlap, st.POOverlap)
 }
 
-// runServeLoad drives the load generator and writes the baseline. With
-// no URL it starts an in-process rwdserve on a loopback port first, so
-// `rwdbench -serve-load` is self-contained.
-func runServeLoad(url string, seed int64, duration time.Duration, concurrency int, out string) error {
+// driveLoad runs the seeded load against url; with an empty url it
+// starts an in-process rwdserve on a loopback port first, so both
+// -serve-load and -profile-check are self-contained.
+func driveLoad(url string, seed int64, duration time.Duration, concurrency int) (*serveload.Report, error) {
 	if url == "" {
 		srv := service.New(service.Config{Logger: log.New(io.Discard, "", 0)})
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			return err
+			return nil, err
 		}
 		shutdown := make(chan struct{})
 		served := make(chan error, 1)
@@ -286,12 +317,17 @@ func runServeLoad(url string, seed int64, duration time.Duration, concurrency in
 	}
 	fmt.Fprintf(os.Stderr, "rwdbench: driving %s for %s (%d workers, seed %d) …\n",
 		url, duration, concurrency, seed)
-	rep, err := serveload.Run(serveload.Config{
+	return serveload.Run(serveload.Config{
 		BaseURL:     url,
 		Seed:        seed,
 		Duration:    duration,
 		Concurrency: concurrency,
 	})
+}
+
+// runServeLoad drives the load generator and writes the baseline.
+func runServeLoad(url string, seed int64, duration time.Duration, concurrency int, out string) error {
+	rep, err := driveLoad(url, seed, duration, concurrency)
 	if err != nil {
 		return err
 	}
@@ -313,7 +349,43 @@ func runServeLoad(url string, seed int64, duration time.Duration, concurrency in
 	fmt.Fprintf(os.Stderr,
 		"rwdbench: flight recorder: %.0f traces recorded (%.0f retained, %.0f evicted, %.0f dropped)\n",
 		rep.Recorder.Recorded, rep.Recorder.Retained, rep.Recorder.Evicted, rep.Recorder.Dropped)
+	fmt.Fprintf(os.Stderr, "rwdbench: workload profile: %d (op, engine) rows captured\n", len(rep.Profile))
 	return nil
+}
+
+// runProfileCheck replays the serve load and gates the fresh workload
+// profile against a committed baseline: exit 1 on any drift beyond
+// tolerance. Baselines from before the profile engine (no profile
+// block) pass with a warning so the gate can land before every
+// baseline is regenerated.
+func runProfileCheck(url string, seed int64, duration time.Duration, concurrency int,
+	baselinePath string, tol serveload.ProfileTolerance) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	baseline := &serveload.Report{}
+	if err := json.Unmarshal(raw, baseline); err != nil {
+		return fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	if len(baseline.Profile) == 0 {
+		fmt.Fprintf(os.Stderr, "rwdbench: %s has no profile block (regenerate with -serve-load); nothing to gate\n", baselinePath)
+		return nil
+	}
+	rep, err := driveLoad(url, seed, duration, concurrency)
+	if err != nil {
+		return err
+	}
+	regressions := serveload.CompareProfiles(baseline, rep, tol)
+	if len(regressions) == 0 {
+		fmt.Fprintf(os.Stderr, "rwdbench: profile-check: %d baseline rows within tolerance of %s\n",
+			len(baseline.Profile), baselinePath)
+		return nil
+	}
+	for _, r := range regressions {
+		fmt.Fprintln(os.Stderr, "rwdbench: profile regression:", r)
+	}
+	return fmt.Errorf("%d profile regression(s) against %s", len(regressions), baselinePath)
 }
 
 // runAutomataBench runs the engine comparison families and writes the

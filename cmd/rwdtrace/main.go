@@ -7,16 +7,23 @@
 // restart or crash, the on-disk NDJSON trace log a server wrote with
 // -trace-dir:
 //
-//	rwdtrace tail  [-url http://127.0.0.1:8080 | -trace-dir DIR] [-n 20] [-op containment] [-status 504] [-min-ms 10]
-//	rwdtrace top   [-url ... | -trace-dir ...] [-by duration|states_expanded|<counter>] [-n 10]
-//	rwdtrace show  [-url ... | -trace-dir ...] <trace-id>
-//	rwdtrace export -perfetto [-url ... | -trace-dir ...] [-o traces.perfetto.json]
+//	rwdtrace tail      [-url http://127.0.0.1:8080 | -trace-dir DIR] [-n 20] [-op containment] [-status 504] [-min-ms 10]
+//	rwdtrace top       [-url ... | -trace-dir ...] [-by duration|states_expanded|<counter>] [-n 10]
+//	rwdtrace show      [-url ... | -trace-dir ...] <trace-id>
+//	rwdtrace export    -perfetto [-url ... | -trace-dir ...] [-o traces.perfetto.json]
+//	rwdtrace stats     [-url ... | -trace-dir ...] [-window live|lifetime|all] [-op OP] [-engine E] [-json]
+//	rwdtrace anomalies [-url ... | -trace-dir ...] [-n 20] [-json]
 //
 // tail prints the most recent traces one line each; top ranks them by
 // duration or by a cost counter summed over the whole tree; show dumps
 // one tree (the id is what a /v1/* response returned in X-Trace-Id);
 // export -perfetto writes Chrome trace-event JSON loadable directly in
 // Perfetto or chrome://tracing.
+//
+// stats and anomalies read the workload-profile engine: against a live
+// server they call GET /v1/stats; against a -trace-dir they replay the
+// NDJSON history through the same engine the server runs, so on-disk
+// history and live windows agree by construction.
 //
 // Exit codes: 0 ok, 1 operational error, 2 usage error, 3 trace not
 // found.
@@ -35,6 +42,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/profile"
 	"repro/internal/obs/recorder"
 )
 
@@ -42,10 +50,12 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage: rwdtrace <command> [flags]
 
 commands:
-  tail    print recent traces, one line each
-  top     rank traces by duration or a cost counter
-  show    dump one trace tree by id
-  export  write the selected traces in an export format
+  tail       print recent traces, one line each
+  top        rank traces by duration or a cost counter
+  show       dump one trace tree by id
+  export     write the selected traces in an export format
+  stats      per-op workload profiles: counts, error rates, quantiles, cost models
+  anomalies  traces flagged against the fitted per-op cost models
 
 common flags (every command):
   -url URL          query a live rwdserve (default http://127.0.0.1:8080
@@ -71,6 +81,10 @@ func main() {
 		err = cmdShow(os.Args[2:])
 	case "export":
 		err = cmdExport(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "anomalies":
+		err = cmdAnomalies(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -81,8 +95,11 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rwdtrace:", err)
-		if _, ok := err.(notFoundError); ok {
+		switch err.(type) {
+		case notFoundError:
 			os.Exit(3)
+		case usageError:
+			os.Exit(2)
 		}
 		os.Exit(1)
 	}
@@ -91,6 +108,12 @@ func main() {
 type notFoundError string
 
 func (e notFoundError) Error() string { return string(e) }
+
+// usageError exits 2: the invocation cannot mean anything (e.g. top -by
+// with a counter name no trace has ever carried).
+type usageError string
+
+func (e usageError) Error() string { return string(e) }
 
 // source abstracts the two trace origins: a live server's query API or
 // an on-disk -trace-dir written by a previous (possibly crashed) server.
@@ -210,6 +233,9 @@ func cmdTop(args []string) error {
 		return err
 	}
 	if *by != "duration" {
+		if err := checkCounterKnown(traces, *by); err != nil {
+			return err
+		}
 		sort.SliceStable(traces, func(i, j int) bool {
 			return recorder.CounterSum(traces[i].Root, *by) > recorder.CounterSum(traces[j].Root, *by)
 		})
@@ -226,6 +252,35 @@ func cmdTop(args []string) error {
 	}
 	printTraceLines(traces)
 	return nil
+}
+
+// checkCounterKnown returns a usageError when no loaded trace carries a
+// counter named by — ranking by it would silently produce an arbitrary
+// order. The error lists every counter the traces do carry so the user
+// can correct the flag without guessing.
+func checkCounterKnown(traces []*recorder.Trace, by string) error {
+	if len(traces) == 0 {
+		return nil // nothing to rank either way
+	}
+	seen := map[string]bool{}
+	for _, t := range traces {
+		for name := range recorder.TraceCounters(t.Root) {
+			seen[name] = true
+		}
+	}
+	if seen[by] {
+		return nil
+	}
+	names := make([]string, 0, len(seen))
+	for name := range seen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	observed := "none"
+	if len(names) > 0 {
+		observed = strings.Join(names, ", ")
+	}
+	return usageError(fmt.Sprintf("top: unknown counter %q; observed counters: %s", by, observed))
 }
 
 func cmdShow(args []string) error {
@@ -313,6 +368,164 @@ func cmdExport(args []string) error {
 		fmt.Fprintf(os.Stderr, "rwdtrace: %d trace(s) -> %s\n", len(traces), *out)
 	}
 	return nil
+}
+
+// fetchSnapshot obtains a workload-profile snapshot. Against a live
+// server it calls GET /v1/stats; against a -trace-dir it replays the
+// NDJSON history through the same engine (default server configuration:
+// 60s window in 10 buckets), snapshotted at the newest trace's end so
+// the live window reflects the tail of the log rather than wall clock.
+func fetchSnapshot(src *source, window, op, engine string) (*profile.Snapshot, error) {
+	if src.dir != "" {
+		traces, discarded, err := recorder.ReadDir(src.dir)
+		if err != nil {
+			return nil, err
+		}
+		if discarded > 0 {
+			fmt.Fprintf(os.Stderr, "rwdtrace: %d torn/damaged log line(s) skipped\n", discarded)
+		}
+		eng := profile.Replay(traces, profile.Config{})
+		return eng.Snapshot(eng.LastSeen(), window, profile.Filter{Op: op, Engine: engine}), nil
+	}
+	v := url.Values{}
+	if window != "" {
+		v.Set("window", window)
+	}
+	if op != "" {
+		v.Set("op", op)
+	}
+	if engine != "" {
+		v.Set("engine", engine)
+	}
+	resp, err := http.Get(src.url + "/v1/stats?" + v.Encode())
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("GET /v1/stats: status %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	snap := &profile.Snapshot{}
+	if err := json.NewDecoder(resp.Body).Decode(snap); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	src := sourceFlags(fs)
+	window := fs.String("window", profile.WindowAll, "live, lifetime, or all")
+	op := fs.String("op", "", "filter: trace op")
+	engine := fs.String("engine", "", `filter: engine label ("-" selects profiles where no engine ran)`)
+	asJSON := fs.Bool("json", false, "emit the raw snapshot JSON instead of tables")
+	fs.Parse(args)
+	if err := src.resolve(); err != nil {
+		return err
+	}
+	switch *window {
+	case profile.WindowLive, profile.WindowLifetime, profile.WindowAll:
+	default:
+		return usageError(fmt.Sprintf("stats: -window %q (want %s, %s, or %s)",
+			*window, profile.WindowLive, profile.WindowLifetime, profile.WindowAll))
+	}
+	snap, err := fetchSnapshot(src, *window, *op, *engine)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(snap)
+	}
+	fmt.Printf("observed %d trace(s), %d anomaly(ies) flagged; window %.0fs; sketch rel. error %.2f%%\n",
+		snap.Observed, snap.AnomaliesTotal, snap.WindowSeconds, 100*snap.SketchRelError)
+	if len(snap.Window) > 0 {
+		fmt.Printf("\nlive window (last %.0fs):\n", snap.WindowSeconds)
+		printProfileTable(snap.Window)
+	}
+	if len(snap.Lifetime) > 0 {
+		fmt.Printf("\nlifetime:\n")
+		printProfileTable(snap.Lifetime)
+		for _, row := range snap.Lifetime {
+			for _, ex := range row.Exemplars {
+				fmt.Printf("  exemplar %-14s %-10s %-7s %-16s %9.2fms\n",
+					row.Op, engineLabel(row.Engine), ex.Band, ex.TraceID, ex.DurationMS)
+			}
+		}
+	}
+	if len(snap.Models) > 0 {
+		fmt.Printf("\ncost models (duration_ms ~ intercept + slope*counter):\n")
+		for _, m := range snap.Models {
+			fmt.Printf("  %-14s %.3f + %.6f*%s  (r2=%.3f, residual sd=%.2fms, n=%d)\n",
+				m.Op, m.InterceptMS, m.SlopeMS, m.Counter, m.R2, m.ResidualStdMS, m.Samples)
+		}
+	}
+	if snap.AnomaliesTotal > 0 {
+		fmt.Printf("\n%d anomaly(ies) flagged; run 'rwdtrace anomalies' for details\n", snap.AnomaliesTotal)
+	}
+	return nil
+}
+
+func cmdAnomalies(args []string) error {
+	fs := flag.NewFlagSet("anomalies", flag.ExitOnError)
+	src := sourceFlags(fs)
+	n := fs.Int("n", 20, "number of anomalies to print, newest first")
+	op := fs.String("op", "", "filter: trace op")
+	asJSON := fs.Bool("json", false, "emit the anomalies as JSON instead of lines")
+	fs.Parse(args)
+	if err := src.resolve(); err != nil {
+		return err
+	}
+	snap, err := fetchSnapshot(src, profile.WindowLifetime, *op, "")
+	if err != nil {
+		return err
+	}
+	anomalies := snap.Anomalies
+	if len(anomalies) > *n {
+		anomalies = anomalies[:*n]
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(anomalies)
+	}
+	if len(anomalies) == 0 {
+		fmt.Printf("no anomalies flagged (%d trace(s) observed)\n", snap.Observed)
+		return nil
+	}
+	for _, a := range anomalies {
+		fmt.Printf("%-16s %-14s %-10s %9.2fms (predicted %8.2fms, z=%.1f)  %s=%d  %s\n",
+			a.TraceID, a.Op, engineLabel(a.Engine), a.DurationMS, a.PredictedMS,
+			a.Score, a.Counter, a.CounterValue, a.Start.Format("15:04:05.000"))
+	}
+	if int64(len(snap.Anomalies)) < snap.AnomaliesTotal {
+		fmt.Printf("(%d older anomaly(ies) rotated out of the ring)\n",
+			snap.AnomaliesTotal-int64(len(snap.Anomalies)))
+	}
+	return nil
+}
+
+// printProfileTable renders per-(op, engine) profile rows.
+func printProfileTable(rows []profile.OpProfile) {
+	fmt.Printf("  %-14s %-10s %8s %6s %6s %9s %9s %9s %9s\n",
+		"OP", "ENGINE", "REQS", "ERR%", "TO%", "P50MS", "P90MS", "P99MS", "MAXMS")
+	for _, r := range rows {
+		fmt.Printf("  %-14s %-10s %8d %5.1f%% %5.1f%% %9.2f %9.2f %9.2f %9.2f\n",
+			r.Op, engineLabel(r.Engine), r.Requests,
+			100*r.ErrorRate, 100*r.TimeoutRate,
+			r.DurationMS.P50, r.DurationMS.P90, r.DurationMS.P99, r.DurationMS.Max)
+	}
+}
+
+// engineLabel renders the empty engine (no engine span ran: cache hits,
+// rejected requests) the same way the engine=- filter selects it.
+func engineLabel(engine string) string {
+	if engine == "" {
+		return "-"
+	}
+	return engine
 }
 
 // printTraceLines renders traces one per line: id, op, status,

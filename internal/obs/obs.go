@@ -340,6 +340,19 @@ func (s *Span) Tree() *Node {
 	return n
 }
 
+// Walk visits n and every descendant in depth-first pre-order. It is
+// the shared traversal of the trace consumers (flight-recorder counter
+// sums, workload-profile extraction, rwdtrace's headline counters).
+func (n *Node) Walk(f func(*Node)) {
+	if n == nil {
+		return
+	}
+	f(n)
+	for _, c := range n.Children {
+		c.Walk(f)
+	}
+}
+
 // WriteTree renders the node as an indented text tree, one span per
 // line: name, duration, counters, attrs.
 func WriteTree(w io.Writer, n *Node) error {

@@ -1,0 +1,105 @@
+package profile
+
+import "math"
+
+// Fit is an online simple-linear-regression accumulator: y = a + b*x
+// fitted by least squares over every (x, y) pair seen so far, in O(1)
+// memory. The profile engine maintains one per (op, cost counter) pair
+// with x = the counter's value summed over the trace and y = the trace's
+// duration in milliseconds — the "theory predicts practice" line the
+// paper calibrates, fitted continuously against live traffic.
+//
+// All state is six running sums, so fits merge and snapshot trivially
+// and an Add costs a handful of multiply-adds.
+type Fit struct {
+	N     float64 `json:"n"`
+	SumX  float64 `json:"sum_x"`
+	SumY  float64 `json:"sum_y"`
+	SumXX float64 `json:"sum_xx"`
+	SumYY float64 `json:"sum_yy"`
+	SumXY float64 `json:"sum_xy"`
+}
+
+// Add records one observation.
+func (f *Fit) Add(x, y float64) {
+	f.N++
+	f.SumX += x
+	f.SumY += y
+	f.SumXX += x * x
+	f.SumYY += y * y
+	f.SumXY += x * y
+}
+
+// centered returns the centered second moments Sxx, Syy, Sxy.
+func (f *Fit) centered() (sxx, syy, sxy float64) {
+	if f.N == 0 {
+		return 0, 0, 0
+	}
+	sxx = f.SumXX - f.SumX*f.SumX/f.N
+	syy = f.SumYY - f.SumY*f.SumY/f.N
+	sxy = f.SumXY - f.SumX*f.SumY/f.N
+	return sxx, syy, sxy
+}
+
+// Line returns the least-squares slope and intercept. ok is false when
+// fewer than two points have been seen or x has no variance (the line is
+// undefined; callers must not score residuals against it).
+func (f *Fit) Line() (slope, intercept float64, ok bool) {
+	sxx, _, sxy := f.centered()
+	if f.N < 2 || sxx <= 0 {
+		return 0, 0, false
+	}
+	slope = sxy / sxx
+	intercept = (f.SumY - slope*f.SumX) / f.N
+	return slope, intercept, true
+}
+
+// R2 returns the coefficient of determination of the fitted line
+// (0 when undefined or when y has no variance).
+func (f *Fit) R2() float64 {
+	sxx, syy, sxy := f.centered()
+	if f.N < 2 || sxx <= 0 || syy <= 0 {
+		return 0
+	}
+	r2 := (sxy * sxy) / (sxx * syy)
+	if r2 > 1 { // floating-point slop on near-perfect fits
+		r2 = 1
+	}
+	return r2
+}
+
+// Predict evaluates the fitted line at x (0, false when the line is
+// undefined).
+func (f *Fit) Predict(x float64) (float64, bool) {
+	slope, intercept, ok := f.Line()
+	if !ok {
+		return 0, false
+	}
+	return intercept + slope*x, true
+}
+
+// ResidualStd returns the standard deviation of the fit residuals,
+// sqrt(RSS / (n-2)) — the scale against which an individual residual
+// becomes an anomaly score. Returns 0, false when undefined (n < 3 or a
+// degenerate x).
+func (f *Fit) ResidualStd() (float64, bool) {
+	sxx, syy, sxy := f.centered()
+	if f.N < 3 || sxx <= 0 {
+		return 0, false
+	}
+	rss := syy - sxy*sxy/sxx
+	if rss < 0 { // floating-point slop
+		rss = 0
+	}
+	return math.Sqrt(rss / (f.N - 2)), true
+}
+
+// merge folds other into f.
+func (f *Fit) merge(other *Fit) {
+	f.N += other.N
+	f.SumX += other.SumX
+	f.SumY += other.SumY
+	f.SumXX += other.SumXX
+	f.SumYY += other.SumYY
+	f.SumXY += other.SumXY
+}

@@ -1,0 +1,108 @@
+package profile
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestFitRecoversLine: fitting noisy samples of a known line recovers
+// slope and intercept, with R² near 1 and ResidualStd near the noise
+// scale.
+func TestFitRecoversLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const slope, intercept, noise = 0.25, 3.0, 0.5
+	f := &Fit{}
+	for i := 0; i < 5000; i++ {
+		x := rng.Float64() * 1000
+		y := intercept + slope*x + rng.NormFloat64()*noise
+		f.Add(x, y)
+	}
+	gotSlope, gotIntercept, ok := f.Line()
+	if !ok {
+		t.Fatal("Line not ok")
+	}
+	if math.Abs(gotSlope-slope) > 0.01 {
+		t.Errorf("slope = %g, want ~%g", gotSlope, slope)
+	}
+	if math.Abs(gotIntercept-intercept) > 0.1 {
+		t.Errorf("intercept = %g, want ~%g", gotIntercept, intercept)
+	}
+	if r2 := f.R2(); r2 < 0.99 {
+		t.Errorf("R2 = %g, want > 0.99", r2)
+	}
+	sigma, ok := f.ResidualStd()
+	if !ok {
+		t.Fatal("ResidualStd not ok")
+	}
+	if math.Abs(sigma-noise) > 0.05 {
+		t.Errorf("ResidualStd = %g, want ~%g", sigma, noise)
+	}
+	pred, ok := f.Predict(400)
+	if !ok || math.Abs(pred-(intercept+slope*400)) > 1 {
+		t.Errorf("Predict(400) = %g, want ~%g", pred, intercept+slope*400)
+	}
+}
+
+// TestFitDegenerate: undefined lines must report ok=false, never NaN.
+func TestFitDegenerate(t *testing.T) {
+	var f Fit
+	if _, _, ok := f.Line(); ok {
+		t.Error("empty fit: Line ok")
+	}
+	f.Add(5, 10)
+	if _, _, ok := f.Line(); ok {
+		t.Error("one point: Line ok")
+	}
+	// Constant x: no variance, slope undefined.
+	f.Add(5, 12)
+	f.Add(5, 14)
+	if _, _, ok := f.Line(); ok {
+		t.Error("constant x: Line ok")
+	}
+	if _, ok := f.ResidualStd(); ok {
+		t.Error("constant x: ResidualStd ok")
+	}
+	if r2 := f.R2(); r2 != 0 {
+		t.Errorf("constant x: R2 = %g, want 0", r2)
+	}
+}
+
+// TestFitPerfect: exact linear data gives R²=1 and zero residual std.
+func TestFitPerfect(t *testing.T) {
+	f := &Fit{}
+	for i := 1; i <= 10; i++ {
+		f.Add(float64(i), 2+3*float64(i))
+	}
+	slope, intercept, ok := f.Line()
+	if !ok || math.Abs(slope-3) > 1e-9 || math.Abs(intercept-2) > 1e-9 {
+		t.Fatalf("Line = %g, %g, %v; want 3, 2, true", slope, intercept, ok)
+	}
+	if r2 := f.R2(); r2 != 1 {
+		t.Errorf("R2 = %g, want 1", r2)
+	}
+	if sigma, ok := f.ResidualStd(); !ok || sigma > 1e-6 {
+		t.Errorf("ResidualStd = %g, %v; want ~0, true", sigma, ok)
+	}
+}
+
+// TestFitMerge: merging two fits equals fitting the union.
+func TestFitMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a, b, all := &Fit{}, &Fit{}, &Fit{}
+	for i := 0; i < 1000; i++ {
+		x, y := rng.Float64()*100, rng.Float64()*100
+		if i%2 == 0 {
+			a.Add(x, y)
+		} else {
+			b.Add(x, y)
+		}
+		all.Add(x, y)
+	}
+	a.merge(b)
+	as, ai, _ := a.Line()
+	us, ui, _ := all.Line()
+	if math.Abs(as-us) > 1e-9 || math.Abs(ai-ui) > 1e-9 {
+		t.Errorf("merged line (%g, %g) != union line (%g, %g)", as, ai, us, ui)
+	}
+}

@@ -1,0 +1,724 @@
+package profile
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs/recorder"
+)
+
+// Config parameterizes an Engine. The zero value is usable: every field
+// has a documented default.
+type Config struct {
+	// BucketWidth is the width of one sliding-window ring bucket;
+	// <= 0 means 6s.
+	BucketWidth time.Duration
+	// WindowBuckets is the ring length; the sliding window spans
+	// BucketWidth * WindowBuckets; <= 0 means 10 (i.e. a 60s window).
+	WindowBuckets int
+	// AnomalyZ is the residual z-score above which a finished trace is
+	// flagged as an anomaly against its op's cost model; <= 0 means 4.
+	AnomalyZ float64
+	// AnomalyMinSamples is the fit size below which no anomaly is ever
+	// flagged (the model is still warming up); <= 0 means 50.
+	AnomalyMinSamples int
+	// AnomalyFloorMS is an absolute residual floor: a trace is flagged
+	// only if measured - predicted also exceeds this many milliseconds,
+	// so a near-perfect fit's tiny sigma cannot turn scheduler jitter
+	// into anomalies; <= 0 means 1ms.
+	AnomalyFloorMS float64
+	// AnomalyKeep bounds the retained anomaly ring; <= 0 means 256.
+	AnomalyKeep int
+}
+
+func (c Config) withDefaults() Config {
+	if c.BucketWidth <= 0 {
+		c.BucketWidth = 6 * time.Second
+	}
+	if c.WindowBuckets <= 0 {
+		c.WindowBuckets = 10
+	}
+	if c.AnomalyZ <= 0 {
+		c.AnomalyZ = 4
+	}
+	if c.AnomalyMinSamples <= 0 {
+		c.AnomalyMinSamples = 50
+	}
+	if c.AnomalyFloorMS <= 0 {
+		c.AnomalyFloorMS = 1
+	}
+	if c.AnomalyKeep <= 0 {
+		c.AnomalyKeep = 256
+	}
+	return c
+}
+
+// key identifies one profiled series: the trace op (root span name with
+// "http." trimmed) and the engine that did the work ("" when none ran,
+// e.g. cache hits). Statuses are kept as sub-series inside the profile.
+type key struct{ op, engine string }
+
+// statusStats is one (op, engine, status) series: a request count and a
+// duration sketch.
+type statusStats struct {
+	count uint64
+	dur   *Sketch
+}
+
+// counterAgg is the distribution of one cost counter within a profile.
+type counterAgg struct {
+	sum, max int64
+	sketch   *Sketch
+}
+
+// prof is the mutable per-(op, engine) profile: per-status duration
+// sketches plus per-counter distributions. It appears twice per key —
+// once per live ring bucket and once in the lifetime aggregate.
+type prof struct {
+	status   map[string]*statusStats
+	counters map[string]*counterAgg
+}
+
+func newProf() *prof {
+	return &prof{status: map[string]*statusStats{}, counters: map[string]*counterAgg{}}
+}
+
+func (p *prof) observe(status string, durMS float64, counters map[string]int64) {
+	st := p.status[status]
+	if st == nil {
+		st = &statusStats{dur: &Sketch{}}
+		p.status[status] = st
+	}
+	st.count++
+	st.dur.Observe(durMS)
+	for name, v := range counters {
+		c := p.counters[name]
+		if c == nil {
+			c = &counterAgg{sketch: &Sketch{}}
+			p.counters[name] = c
+		}
+		c.sum += v
+		if v > c.max {
+			c.max = v
+		}
+		c.sketch.Observe(float64(v))
+	}
+}
+
+// merge folds other into p (used when the snapshot collapses the live
+// ring buckets into one window view).
+func (p *prof) merge(other *prof) {
+	for status, ost := range other.status {
+		st := p.status[status]
+		if st == nil {
+			st = &statusStats{dur: &Sketch{}}
+			p.status[status] = st
+		}
+		st.count += ost.count
+		st.dur.Merge(ost.dur)
+	}
+	for name, oc := range other.counters {
+		c := p.counters[name]
+		if c == nil {
+			c = &counterAgg{sketch: &Sketch{}}
+			p.counters[name] = c
+		}
+		c.sum += oc.sum
+		if oc.max > c.max {
+			c.max = oc.max
+		}
+		c.sketch.Merge(oc.sketch)
+	}
+}
+
+// bucket is one slot of the sliding-window ring.
+type bucket struct {
+	start    time.Time // aligned bucket start; zero = never used
+	profiles map[key]*prof
+}
+
+// Exemplar links a quantile band of a profile back to a concrete trace
+// in the flight recorder (GET /v1/traces/{id}).
+type Exemplar struct {
+	// Band is the duration quantile band the trace fell in when it was
+	// observed: "le_p50", "p50_p90", "p90_p99", or "ge_p99".
+	Band       string    `json:"band"`
+	TraceID    string    `json:"trace_id"`
+	DurationMS float64   `json:"duration_ms"`
+	Start      time.Time `json:"start"`
+}
+
+// exemplar bands, slowest last.
+var bandNames = [4]string{"le_p50", "p50_p90", "p90_p99", "ge_p99"}
+
+// Anomaly is one flagged trace: measured duration far above what the
+// op's fitted cost model predicts from its cost counters.
+type Anomaly struct {
+	TraceID      string    `json:"trace_id"`
+	Op           string    `json:"op"`
+	Engine       string    `json:"engine,omitempty"`
+	Start        time.Time `json:"start"`
+	DurationMS   float64   `json:"duration_ms"`
+	PredictedMS  float64   `json:"predicted_ms"`
+	Counter      string    `json:"counter"`
+	CounterValue int64     `json:"counter_value"`
+	// Score is the residual in units of the fit's residual standard
+	// deviation (a z-score); flagged when >= the configured threshold.
+	Score float64 `json:"score"`
+}
+
+// Engine is the live workload-profile aggregator. All methods are safe
+// for concurrent use; a nil *Engine is a disabled engine on which every
+// method is a no-op.
+type Engine struct {
+	cfg Config
+
+	mu       sync.Mutex
+	ring     []bucket
+	life     map[key]*prof
+	exemplar map[key]*[4]Exemplar
+	// fits and counterTotals are per op (not per key): the cost model
+	// predicts duration from algorithmic work regardless of status or
+	// engine label, and the dominant counter is the one with the largest
+	// total over the op's successful traces.
+	fits          map[string]map[string]*Fit
+	counterTotals map[string]map[string]int64
+	anomalies     []Anomaly // newest last, bounded by cfg.AnomalyKeep
+	observed      int64
+	anomalyTotal  int64
+	lastSeen      time.Time // max trace End() observed
+}
+
+// New builds an Engine from cfg.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	return &Engine{
+		cfg:           cfg,
+		ring:          make([]bucket, cfg.WindowBuckets),
+		life:          map[key]*prof{},
+		exemplar:      map[key]*[4]Exemplar{},
+		fits:          map[string]map[string]*Fit{},
+		counterTotals: map[string]map[string]int64{},
+	}
+}
+
+// Window returns the sliding-window span (BucketWidth * WindowBuckets).
+func (e *Engine) Window() time.Duration {
+	if e == nil {
+		return 0
+	}
+	return e.cfg.BucketWidth * time.Duration(e.cfg.WindowBuckets)
+}
+
+// Observe folds one finished trace into the profiles. The trace is
+// bucketed on its own completion time (Start + Duration), not the wall
+// clock, so replaying the NDJSON log through a fresh engine reproduces
+// the live windows exactly.
+func (e *Engine) Observe(t *recorder.Trace) {
+	if e == nil || t == nil || t.Op == "" {
+		return
+	}
+	end := t.End()
+	k := key{op: t.Op, engine: recorder.TraceEngine(t)}
+	counters := recorder.TraceCounters(t.Root)
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.observed++
+	if end.After(e.lastSeen) {
+		e.lastSeen = end
+	}
+
+	lp := e.life[k]
+	if lp == nil {
+		lp = newProf()
+		e.life[k] = lp
+	}
+	// Score against the model as fitted *before* this observation; a
+	// flagged trace is excluded from the model update so an outlier can
+	// neither explain itself away nor drag the line toward a burst of
+	// outliers (a sustained regime shift then shows up as a sustained
+	// anomaly rate — itself the signal the regression gate watches).
+	flagged := false
+	if success(t.Status) {
+		flagged = e.maybeFlagLocked(t, k.engine, counters)
+	}
+	lp.observe(t.Status, t.DurationMS, counters)
+	e.ringProfLocked(end, k).observe(t.Status, t.DurationMS, counters)
+	e.exemplarLocked(k, lp, t)
+	if success(t.Status) && !flagged {
+		e.fitLocked(t.Op, t.DurationMS, counters)
+	}
+}
+
+// success reports whether a status string is a 2xx.
+func success(status string) bool {
+	return len(status) == 3 && status[0] == '2'
+}
+
+// isError reports whether a status string is a 4xx or 5xx.
+func isError(status string) bool {
+	return len(status) == 3 && (status[0] == '4' || status[0] == '5')
+}
+
+// isTimeout reports whether a status is one of the service's deadline
+// statuses: 408 (client context canceled/expired) or 504 (server
+// deadline exceeded).
+func isTimeout(status string) bool {
+	return status == "408" || status == "504"
+}
+
+// ringProfLocked returns key k's profile in the ring bucket covering an
+// observation at time at, resetting the slot when it last held an older
+// window period.
+func (e *Engine) ringProfLocked(at time.Time, k key) *prof {
+	width := e.cfg.BucketWidth
+	aligned := at.Truncate(width)
+	slot := int((aligned.UnixNano() / int64(width)) % int64(len(e.ring)))
+	if slot < 0 {
+		slot += len(e.ring)
+	}
+	b := &e.ring[slot]
+	if !b.start.Equal(aligned) {
+		b.start = aligned
+		b.profiles = map[key]*prof{}
+	}
+	p := b.profiles[k]
+	if p == nil {
+		p = newProf()
+		b.profiles[k] = p
+	}
+	return p
+}
+
+// exemplarLocked files t into its duration quantile band (computed
+// against the key's lifetime sketch merged over statuses), keeping the
+// most recent trace per band.
+func (e *Engine) exemplarLocked(k key, lp *prof, t *recorder.Trace) {
+	merged := &Sketch{}
+	for _, st := range lp.status {
+		merged.Merge(st.dur)
+	}
+	p50, p90, p99 := merged.Quantile(0.50), merged.Quantile(0.90), merged.Quantile(0.99)
+	band := 0
+	switch d := t.DurationMS; {
+	case d >= p99:
+		band = 3
+	case d >= p90:
+		band = 2
+	case d >= p50:
+		band = 1
+	}
+	ex := e.exemplar[k]
+	if ex == nil {
+		ex = &[4]Exemplar{}
+		e.exemplar[k] = ex
+	}
+	ex[band] = Exemplar{Band: bandNames[band], TraceID: t.TraceID, DurationMS: t.DurationMS, Start: t.Start}
+}
+
+// fitLocked updates every (op, counter) fit and the dominance totals.
+func (e *Engine) fitLocked(op string, durMS float64, counters map[string]int64) {
+	fits := e.fits[op]
+	if fits == nil {
+		fits = map[string]*Fit{}
+		e.fits[op] = fits
+	}
+	totals := e.counterTotals[op]
+	if totals == nil {
+		totals = map[string]int64{}
+		e.counterTotals[op] = totals
+	}
+	for name, v := range counters {
+		f := fits[name]
+		if f == nil {
+			f = &Fit{}
+			fits[name] = f
+		}
+		f.Add(float64(v), durMS)
+		totals[name] += v
+	}
+}
+
+// dominantLocked returns the op's dominant cost counter: the one with
+// the largest total over successful traces (ties broken lexicographically
+// for determinism), or "" when the op has no counters.
+func (e *Engine) dominantLocked(op string) string {
+	best, bestTotal := "", int64(-1)
+	for name, total := range e.counterTotals[op] {
+		if total > bestTotal || (total == bestTotal && (best == "" || name < best)) {
+			best, bestTotal = name, total
+		}
+	}
+	return best
+}
+
+// maybeFlagLocked scores t against its op's dominant-counter cost model
+// and appends an anomaly (returning true) when measured time exceeds the
+// prediction by both the z-score threshold and the absolute floor.
+func (e *Engine) maybeFlagLocked(t *recorder.Trace, engine string, counters map[string]int64) bool {
+	dom := e.dominantLocked(t.Op)
+	if dom == "" {
+		return false
+	}
+	f := e.fits[t.Op][dom]
+	if f == nil || int(f.N) < e.cfg.AnomalyMinSamples {
+		return false
+	}
+	pred, ok := f.Predict(float64(counters[dom]))
+	if !ok {
+		return false
+	}
+	sigma, ok := f.ResidualStd()
+	if !ok || sigma <= 0 {
+		return false
+	}
+	residual := t.DurationMS - pred
+	if residual < e.cfg.AnomalyFloorMS || residual < e.cfg.AnomalyZ*sigma {
+		return false
+	}
+	e.anomalyTotal++
+	e.anomalies = append(e.anomalies, Anomaly{
+		TraceID:      t.TraceID,
+		Op:           t.Op,
+		Engine:       engine,
+		Start:        t.Start,
+		DurationMS:   t.DurationMS,
+		PredictedMS:  pred,
+		Counter:      dom,
+		CounterValue: counters[dom],
+		Score:        residual / sigma,
+	})
+	if len(e.anomalies) > e.cfg.AnomalyKeep {
+		e.anomalies = append(e.anomalies[:0], e.anomalies[len(e.anomalies)-e.cfg.AnomalyKeep:]...)
+	}
+	return true
+}
+
+// LastSeen returns the latest trace completion time observed — the
+// "now" an offline replay snapshots at so its windows match what the
+// live engine reported at that instant.
+func (e *Engine) LastSeen() time.Time {
+	if e == nil {
+		return time.Time{}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastSeen
+}
+
+// Observed returns the number of traces folded in.
+func (e *Engine) Observed() int64 {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.observed
+}
+
+// AnomalyCount returns the total anomalies flagged (including ones that
+// have rotated out of the bounded ring).
+func (e *Engine) AnomalyCount() int64 {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.anomalyTotal
+}
+
+// Replay builds a fresh engine from an on-disk trace history (oldest
+// first, as recorder.ReadDir returns): the offline half of the live
+// surface — `rwdtrace stats -trace-dir` replays through the exact code
+// the server runs, so history and live windows agree by construction.
+func Replay(traces []*recorder.Trace, cfg Config) *Engine {
+	e := New(cfg)
+	for _, t := range traces {
+		e.Observe(t)
+	}
+	return e
+}
+
+// ---- snapshots ----
+
+// Filter restricts a Snapshot. Zero value = everything.
+type Filter struct {
+	// Op keeps only profiles with this exact op ("" keeps all).
+	Op string
+	// Engine keeps only profiles with this engine label; "-" matches
+	// the empty engine (no engine ran, e.g. cache hits); "" keeps all.
+	Engine string
+}
+
+func (f Filter) match(k key) bool {
+	if f.Op != "" && f.Op != k.op {
+		return false
+	}
+	switch f.Engine {
+	case "":
+		return true
+	case "-":
+		return k.engine == ""
+	default:
+		return f.Engine == k.engine
+	}
+}
+
+// DistStats summarizes one duration or counter distribution. Quantiles
+// carry the sketch's RelError bound; Min/Max/Mean/Sum are exact.
+type DistStats struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+func distStats(s *Sketch) DistStats {
+	return DistStats{
+		Count: s.Count(),
+		Sum:   s.Sum(),
+		Mean:  s.Mean(),
+		Min:   s.Min(),
+		Max:   s.Max(),
+		P50:   s.Quantile(0.50),
+		P90:   s.Quantile(0.90),
+		P99:   s.Quantile(0.99),
+	}
+}
+
+// StatusCount is one status sub-series of a profile.
+type StatusCount struct {
+	Status string `json:"status"`
+	Count  uint64 `json:"count"`
+}
+
+// CounterProfile is the distribution of one cost counter over a
+// profile's traces.
+type CounterProfile struct {
+	Name string    `json:"name"`
+	Sum  int64     `json:"sum"`
+	Max  int64     `json:"max"`
+	Dist DistStats `json:"dist"`
+}
+
+// OpProfile is one (op, engine) row of a snapshot: request and error
+// accounting, the duration distribution (merged across statuses), the
+// per-status breakdown, the per-counter distributions, and (lifetime
+// rows only) exemplar trace ids per duration quantile band.
+type OpProfile struct {
+	Op          string           `json:"op"`
+	Engine      string           `json:"engine,omitempty"`
+	Requests    uint64           `json:"requests"`
+	Errors      uint64           `json:"errors"`
+	Timeouts    uint64           `json:"timeouts"`
+	ErrorRate   float64          `json:"error_rate"`
+	TimeoutRate float64          `json:"timeout_rate"`
+	DurationMS  DistStats        `json:"duration_ms"`
+	Statuses    []StatusCount    `json:"statuses"`
+	Counters    []CounterProfile `json:"counters,omitempty"`
+	Exemplars   []Exemplar       `json:"exemplars,omitempty"`
+}
+
+// Model is the fitted duration-vs-dominant-counter cost model of one op:
+// duration_ms ≈ intercept_ms + slope_ms * counter.
+type Model struct {
+	Op            string  `json:"op"`
+	Counter       string  `json:"counter"`
+	Samples       int64   `json:"samples"`
+	SlopeMS       float64 `json:"slope_ms_per_unit"`
+	InterceptMS   float64 `json:"intercept_ms"`
+	R2            float64 `json:"r2"`
+	ResidualStdMS float64 `json:"residual_std_ms"`
+}
+
+// Snapshot is the full JSON view served by GET /v1/stats. Field order is
+// deterministic (structs and sorted slices throughout), so snapshots of
+// identical engine states are byte-identical.
+type Snapshot struct {
+	SchemaVersion  int         `json:"schema_version"`
+	GeneratedAt    time.Time   `json:"generated_at"`
+	WindowSeconds  float64     `json:"window_seconds"`
+	SketchRelError float64     `json:"sketch_rel_error"`
+	Observed       int64       `json:"observed"`
+	AnomaliesTotal int64       `json:"anomalies_total"`
+	Window         []OpProfile `json:"window,omitempty"`
+	Lifetime       []OpProfile `json:"lifetime,omitempty"`
+	Models         []Model     `json:"models,omitempty"`
+	Anomalies      []Anomaly   `json:"anomalies,omitempty"`
+}
+
+// SnapshotSchemaVersion identifies the /v1/stats payload shape.
+const SnapshotSchemaVersion = 1
+
+// WindowLive, WindowLifetime and WindowAll are the accepted window
+// selectors of Snapshot and the /v1/stats `window` query parameter.
+const (
+	WindowLive     = "live"
+	WindowLifetime = "lifetime"
+	WindowAll      = "all"
+)
+
+// Snapshot renders the engine state as of now. window selects which
+// profile sets to include (WindowLive, WindowLifetime, or WindowAll;
+// "" means WindowAll). Live windows are evaluated against now: ring
+// buckets older than the window span are excluded, so a replayed
+// engine snapshotted at its LastSeen reproduces what the live engine
+// reported at that instant.
+func (e *Engine) Snapshot(now time.Time, window string, f Filter) *Snapshot {
+	if e == nil {
+		return &Snapshot{SchemaVersion: SnapshotSchemaVersion, GeneratedAt: now, SketchRelError: RelError}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	snap := &Snapshot{
+		SchemaVersion:  SnapshotSchemaVersion,
+		GeneratedAt:    now,
+		WindowSeconds:  e.Window().Seconds(),
+		SketchRelError: RelError,
+		Observed:       e.observed,
+		AnomaliesTotal: e.anomalyTotal,
+	}
+	if window == "" {
+		window = WindowAll
+	}
+	if window == WindowLive || window == WindowAll {
+		span := e.Window()
+		merged := map[key]*prof{}
+		for i := range e.ring {
+			b := &e.ring[i]
+			if b.start.IsZero() || b.start.After(now) || now.Sub(b.start) >= span {
+				continue
+			}
+			for k, p := range b.profiles {
+				m := merged[k]
+				if m == nil {
+					m = newProf()
+					merged[k] = m
+				}
+				m.merge(p)
+			}
+		}
+		snap.Window = e.profilesLocked(merged, f, false)
+	}
+	if window == WindowLifetime || window == WindowAll {
+		snap.Lifetime = e.profilesLocked(e.life, f, true)
+		snap.Models = e.modelsLocked(f)
+		for i := len(e.anomalies) - 1; i >= 0; i-- {
+			a := e.anomalies[i]
+			if f.match(key{op: a.Op, engine: a.Engine}) {
+				snap.Anomalies = append(snap.Anomalies, a) // newest first
+			}
+		}
+	}
+	return snap
+}
+
+// profilesLocked renders a profile map as sorted OpProfile rows.
+func (e *Engine) profilesLocked(profiles map[key]*prof, f Filter, exemplars bool) []OpProfile {
+	keys := make([]key, 0, len(profiles))
+	for k := range profiles {
+		if f.match(k) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].op != keys[j].op {
+			return keys[i].op < keys[j].op
+		}
+		return keys[i].engine < keys[j].engine
+	})
+	out := make([]OpProfile, 0, len(keys))
+	for _, k := range keys {
+		p := profiles[k]
+		row := OpProfile{Op: k.op, Engine: k.engine}
+		dur := &Sketch{}
+		statuses := make([]string, 0, len(p.status))
+		for status := range p.status {
+			statuses = append(statuses, status)
+		}
+		sort.Strings(statuses)
+		for _, status := range statuses {
+			st := p.status[status]
+			row.Requests += st.count
+			if isError(status) {
+				row.Errors += st.count
+			}
+			if isTimeout(status) {
+				row.Timeouts += st.count
+			}
+			dur.Merge(st.dur)
+			row.Statuses = append(row.Statuses, StatusCount{Status: status, Count: st.count})
+		}
+		if row.Requests > 0 {
+			row.ErrorRate = float64(row.Errors) / float64(row.Requests)
+			row.TimeoutRate = float64(row.Timeouts) / float64(row.Requests)
+		}
+		row.DurationMS = distStats(dur)
+		names := make([]string, 0, len(p.counters))
+		for name := range p.counters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			c := p.counters[name]
+			row.Counters = append(row.Counters, CounterProfile{
+				Name: name, Sum: c.sum, Max: c.max, Dist: distStats(c.sketch),
+			})
+		}
+		if exemplars {
+			if ex := e.exemplar[k]; ex != nil {
+				for _, x := range ex {
+					if x.TraceID != "" {
+						row.Exemplars = append(row.Exemplars, x)
+					}
+				}
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// modelsLocked renders each op's dominant-counter fit as a sorted Model
+// list. Ops whose dominant fit cannot define a line yet are skipped.
+func (e *Engine) modelsLocked(f Filter) []Model {
+	ops := make([]string, 0, len(e.fits))
+	for op := range e.fits {
+		if f.Op == "" || f.Op == op {
+			ops = append(ops, op)
+		}
+	}
+	sort.Strings(ops)
+	var out []Model
+	for _, op := range ops {
+		dom := e.dominantLocked(op)
+		if dom == "" {
+			continue
+		}
+		fit := e.fits[op][dom]
+		slope, intercept, ok := fit.Line()
+		if !ok {
+			continue
+		}
+		m := Model{
+			Op:          op,
+			Counter:     dom,
+			Samples:     int64(fit.N),
+			SlopeMS:     slope,
+			InterceptMS: intercept,
+			R2:          fit.R2(),
+		}
+		if sigma, ok := fit.ResidualStd(); ok {
+			m.ResidualStdMS = sigma
+		}
+		out = append(out, m)
+	}
+	return out
+}

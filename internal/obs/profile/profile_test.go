@@ -1,0 +1,325 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/recorder"
+)
+
+var testEpoch = time.Date(2026, 1, 2, 3, 0, 0, 0, time.UTC)
+
+// mkTrace builds a finished trace the way the service records them: the
+// op on the root, counters and the engine attr on a child span node.
+func mkTrace(id, op, engine, status string, start time.Time, durMS float64, counters map[string]int64) *recorder.Trace {
+	root := &obs.Node{
+		Name:       "http." + op,
+		DurationMS: durMS,
+		Attrs:      map[string]string{recorder.StatusAttr: status},
+	}
+	child := &obs.Node{Name: "work", DurationMS: durMS * 0.9, Counters: counters}
+	if engine != "" {
+		child.Attrs = map[string]string{recorder.EngineAttr: engine}
+	}
+	root.Children = []*obs.Node{child}
+	return &recorder.Trace{
+		TraceID:    id,
+		Op:         op,
+		Status:     status,
+		Start:      start,
+		DurationMS: durMS,
+		Root:       root,
+	}
+}
+
+func TestEngineWindowVsLifetime(t *testing.T) {
+	e := New(Config{BucketWidth: time.Second, WindowBuckets: 5})
+	// 3 old traces well outside the 5s window, 2 recent inside it.
+	for i := 0; i < 3; i++ {
+		e.Observe(mkTrace(fmt.Sprintf("old%d", i), "containment", "antichain", "200",
+			testEpoch, 10, map[string]int64{"states_expanded": 100}))
+	}
+	recent := testEpoch.Add(30 * time.Second)
+	for i := 0; i < 2; i++ {
+		e.Observe(mkTrace(fmt.Sprintf("new%d", i), "containment", "antichain", "200",
+			recent, 20, map[string]int64{"states_expanded": 200}))
+	}
+	snap := e.Snapshot(e.LastSeen(), WindowAll, Filter{})
+	if len(snap.Lifetime) != 1 {
+		t.Fatalf("lifetime rows = %d, want 1", len(snap.Lifetime))
+	}
+	if got := snap.Lifetime[0].Requests; got != 5 {
+		t.Errorf("lifetime requests = %d, want 5", got)
+	}
+	if len(snap.Window) != 1 {
+		t.Fatalf("window rows = %d, want 1", len(snap.Window))
+	}
+	if got := snap.Window[0].Requests; got != 2 {
+		t.Errorf("window requests = %d, want 2 (old traces must have aged out)", got)
+	}
+	if eng := snap.Window[0].Engine; eng != "antichain" {
+		t.Errorf("engine = %q, want antichain", eng)
+	}
+	if snap.Observed != 5 {
+		t.Errorf("observed = %d, want 5", snap.Observed)
+	}
+}
+
+// TestEngineReplayAgreement pins the core live/offline contract: feeding
+// the same traces through a fresh engine (as `rwdtrace stats -trace-dir`
+// does) and snapshotting at LastSeen reproduces the live engine's
+// snapshot byte for byte.
+func TestEngineReplayAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var traces []*recorder.Trace
+	for i := 0; i < 500; i++ {
+		status := "200"
+		if i%17 == 0 {
+			status = "429"
+		}
+		op := "containment"
+		engine := "antichain"
+		if i%5 == 0 {
+			op, engine = "membership", ""
+		}
+		n := int64(rng.Intn(1000))
+		traces = append(traces, mkTrace(fmt.Sprintf("t%04d", i), op, engine, status,
+			testEpoch.Add(time.Duration(i)*73*time.Millisecond),
+			1+float64(n)*0.01+rng.Float64(),
+			map[string]int64{"states_expanded": n, "product_states": n / 2}))
+	}
+	live := New(Config{})
+	for _, tr := range traces {
+		live.Observe(tr)
+	}
+	replayed := Replay(traces, Config{})
+
+	at := live.LastSeen()
+	if !at.Equal(replayed.LastSeen()) {
+		t.Fatalf("LastSeen: live %v != replayed %v", at, replayed.LastSeen())
+	}
+	a, err := json.Marshal(live.Snapshot(at, WindowAll, Filter{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(replayed.Snapshot(at, WindowAll, Filter{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("live and replayed snapshots differ:\nlive:     %s\nreplayed: %s", a, b)
+	}
+}
+
+// TestSnapshotDeterministic: two marshals of the same state are
+// byte-identical (sorted slices, struct field order).
+func TestSnapshotDeterministic(t *testing.T) {
+	e := New(Config{})
+	for i := 0; i < 100; i++ {
+		e.Observe(mkTrace(fmt.Sprintf("t%d", i), "analyze", "", "200",
+			testEpoch.Add(time.Duration(i)*time.Millisecond), float64(1+i%7),
+			map[string]int64{"docs": int64(i), "fields": int64(i * 2), "rounds": 3}))
+	}
+	at := e.LastSeen()
+	a, _ := json.Marshal(e.Snapshot(at, WindowAll, Filter{}))
+	b, _ := json.Marshal(e.Snapshot(at, WindowAll, Filter{}))
+	if string(a) != string(b) {
+		t.Fatal("repeated snapshots of identical state differ")
+	}
+}
+
+func TestEngineErrorAndTimeoutRates(t *testing.T) {
+	e := New(Config{})
+	start := testEpoch
+	for i := 0; i < 6; i++ {
+		e.Observe(mkTrace(fmt.Sprintf("ok%d", i), "validate", "", "200", start, 5, nil))
+	}
+	for i := 0; i < 3; i++ {
+		e.Observe(mkTrace(fmt.Sprintf("bad%d", i), "validate", "", "400", start, 1, nil))
+	}
+	e.Observe(mkTrace("to", "validate", "", "504", start, 100, nil))
+	snap := e.Snapshot(e.LastSeen(), WindowLifetime, Filter{})
+	if len(snap.Lifetime) != 1 {
+		t.Fatalf("rows = %d, want 1", len(snap.Lifetime))
+	}
+	row := snap.Lifetime[0]
+	if row.Requests != 10 || row.Errors != 4 || row.Timeouts != 1 {
+		t.Fatalf("requests/errors/timeouts = %d/%d/%d, want 10/4/1", row.Requests, row.Errors, row.Timeouts)
+	}
+	if row.ErrorRate != 0.4 || row.TimeoutRate != 0.1 {
+		t.Errorf("rates = %g/%g, want 0.4/0.1", row.ErrorRate, row.TimeoutRate)
+	}
+	if len(row.Statuses) != 3 {
+		t.Errorf("status breakdown = %v, want 3 entries", row.Statuses)
+	}
+}
+
+// TestEngineAnomaly: after warming the fit on a clean linear workload,
+// a trace far above the fitted line is flagged with the dominant counter
+// and a high z-score; in-model traces are not.
+func TestEngineAnomaly(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	e := New(Config{AnomalyMinSamples: 50, AnomalyZ: 4})
+	for i := 0; i < 200; i++ {
+		n := int64(100 + rng.Intn(900))
+		durMS := 1 + float64(n)*0.05 + rng.NormFloat64()*0.3
+		e.Observe(mkTrace(fmt.Sprintf("warm%d", i), "containment", "antichain", "200",
+			testEpoch.Add(time.Duration(i)*time.Millisecond), durMS,
+			map[string]int64{"states_expanded": n, "other": 1}))
+	}
+	if got := e.AnomalyCount(); got != 0 {
+		t.Fatalf("clean workload flagged %d anomalies", got)
+	}
+	// 500 states predicts ~26ms; 500ms is wildly off the line.
+	e.Observe(mkTrace("slow", "containment", "antichain", "200",
+		testEpoch.Add(time.Second), 500, map[string]int64{"states_expanded": 500, "other": 1}))
+	if got := e.AnomalyCount(); got != 1 {
+		t.Fatalf("anomaly count = %d, want 1", got)
+	}
+	snap := e.Snapshot(e.LastSeen(), WindowLifetime, Filter{})
+	if len(snap.Anomalies) != 1 {
+		t.Fatalf("snapshot anomalies = %d, want 1", len(snap.Anomalies))
+	}
+	a := snap.Anomalies[0]
+	if a.TraceID != "slow" || a.Op != "containment" || a.Counter != "states_expanded" {
+		t.Errorf("anomaly = %+v", a)
+	}
+	if a.Score < 4 {
+		t.Errorf("score = %g, want >= 4", a.Score)
+	}
+	if a.PredictedMS > 100 {
+		t.Errorf("predicted = %gms, want near the fitted line (~26ms)", a.PredictedMS)
+	}
+	// The model must be exported too.
+	if len(snap.Models) != 1 || snap.Models[0].Counter != "states_expanded" {
+		t.Fatalf("models = %+v, want one on states_expanded", snap.Models)
+	}
+	if snap.Models[0].R2 < 0.9 {
+		t.Errorf("model R2 = %g, want > 0.9 on near-linear data", snap.Models[0].R2)
+	}
+}
+
+func TestEngineAnomalyRingBounded(t *testing.T) {
+	e := New(Config{AnomalyMinSamples: 10, AnomalyKeep: 5, AnomalyFloorMS: 1})
+	for i := 0; i < 50; i++ {
+		n := int64(100 + i)
+		e.Observe(mkTrace(fmt.Sprintf("w%d", i), "op", "", "200",
+			testEpoch, 1+float64(n)*0.01, map[string]int64{"c": n}))
+	}
+	for i := 0; i < 20; i++ {
+		e.Observe(mkTrace(fmt.Sprintf("a%d", i), "op", "", "200",
+			testEpoch, 1000+float64(i), map[string]int64{"c": 100}))
+	}
+	snap := e.Snapshot(e.LastSeen(), WindowLifetime, Filter{})
+	if len(snap.Anomalies) > 5 {
+		t.Fatalf("anomaly ring = %d entries, want <= 5", len(snap.Anomalies))
+	}
+	if e.AnomalyCount() < 5 {
+		t.Fatalf("anomaly total = %d, want several", e.AnomalyCount())
+	}
+	// Newest first.
+	if snap.Anomalies[0].TraceID != "a19" {
+		t.Errorf("first anomaly = %s, want newest (a19)", snap.Anomalies[0].TraceID)
+	}
+}
+
+func TestEngineFilters(t *testing.T) {
+	e := New(Config{})
+	e.Observe(mkTrace("a", "containment", "antichain", "200", testEpoch, 5, nil))
+	e.Observe(mkTrace("b", "membership", "", "200", testEpoch, 1, nil))
+
+	snap := e.Snapshot(e.LastSeen(), WindowLifetime, Filter{Op: "containment"})
+	if len(snap.Lifetime) != 1 || snap.Lifetime[0].Op != "containment" {
+		t.Fatalf("op filter: %+v", snap.Lifetime)
+	}
+	snap = e.Snapshot(e.LastSeen(), WindowLifetime, Filter{Engine: "-"})
+	if len(snap.Lifetime) != 1 || snap.Lifetime[0].Op != "membership" {
+		t.Fatalf("engine '-' filter: %+v", snap.Lifetime)
+	}
+	snap = e.Snapshot(e.LastSeen(), WindowLifetime, Filter{Engine: "antichain"})
+	if len(snap.Lifetime) != 1 || snap.Lifetime[0].Op != "containment" {
+		t.Fatalf("engine filter: %+v", snap.Lifetime)
+	}
+}
+
+func TestEngineExemplars(t *testing.T) {
+	e := New(Config{})
+	for i := 0; i < 200; i++ {
+		durMS := float64(1 + i%10)
+		if i == 150 {
+			durMS = 1000 // a clear tail trace
+		}
+		e.Observe(mkTrace(fmt.Sprintf("t%d", i), "infer", "", "200",
+			testEpoch.Add(time.Duration(i)*time.Millisecond), durMS, nil))
+	}
+	snap := e.Snapshot(e.LastSeen(), WindowLifetime, Filter{})
+	if len(snap.Lifetime) != 1 {
+		t.Fatal("want one row")
+	}
+	exs := snap.Lifetime[0].Exemplars
+	if len(exs) == 0 {
+		t.Fatal("no exemplars")
+	}
+	bands := map[string]Exemplar{}
+	for _, x := range exs {
+		bands[x.Band] = x
+	}
+	tail, ok := bands["ge_p99"]
+	if !ok {
+		t.Fatalf("no ge_p99 exemplar in %+v", exs)
+	}
+	if tail.TraceID != "t150" {
+		t.Errorf("ge_p99 exemplar = %s (%.0fms), want t150", tail.TraceID, tail.DurationMS)
+	}
+	if _, ok := bands["le_p50"]; !ok {
+		t.Errorf("no le_p50 exemplar in %+v", exs)
+	}
+	// Window rows carry no exemplars (bands are lifetime-relative).
+	full := e.Snapshot(e.LastSeen(), WindowAll, Filter{})
+	for _, row := range full.Window {
+		if len(row.Exemplars) != 0 {
+			t.Errorf("window row has exemplars: %+v", row.Exemplars)
+		}
+	}
+}
+
+func TestNilEngineSafe(t *testing.T) {
+	var e *Engine
+	e.Observe(mkTrace("x", "op", "", "200", testEpoch, 1, nil))
+	if e.Observed() != 0 || e.AnomalyCount() != 0 || e.Window() != 0 {
+		t.Fatal("nil engine must be inert")
+	}
+	snap := e.Snapshot(testEpoch, WindowAll, Filter{})
+	if snap == nil || snap.SchemaVersion != SnapshotSchemaVersion {
+		t.Fatal("nil engine snapshot must still be well-formed")
+	}
+}
+
+func TestEngineConcurrentObserve(t *testing.T) {
+	e := New(Config{})
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				e.Observe(mkTrace(fmt.Sprintf("g%d-%d", g, i), "containment", "antichain", "200",
+					testEpoch.Add(time.Duration(i)*time.Millisecond), float64(1+i%5),
+					map[string]int64{"states_expanded": int64(i)}))
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if got := e.Observed(); got != 1600 {
+		t.Fatalf("observed = %d, want 1600", got)
+	}
+	snap := e.Snapshot(e.LastSeen(), WindowAll, Filter{})
+	if snap.Lifetime[0].Requests != 1600 {
+		t.Fatalf("requests = %d, want 1600", snap.Lifetime[0].Requests)
+	}
+}

@@ -2,6 +2,7 @@ package recorder
 
 import (
 	"fmt"
+	"math"
 	"net/url"
 	"sort"
 	"strconv"
@@ -41,12 +42,20 @@ const DefaultLimit = 50
 
 // ParseQuery reads a Query from URL parameters (op, status, min_ms,
 // since, limit, sort). since accepts a Go duration ("90s", "1h").
+// Parameters that cannot mean anything are rejected rather than
+// silently coerced: a negative or non-finite min_ms, a negative since,
+// an explicit limit=0 (use a negative limit for "unlimited"), and
+// conflicting repeated sort values all return an error the handler
+// surfaces as a 400.
 func ParseQuery(v url.Values) (Query, error) {
 	q := Query{Op: v.Get("op"), Status: v.Get("status"), Sort: v.Get("sort")}
 	if s := v.Get("min_ms"); s != "" {
 		f, err := strconv.ParseFloat(s, 64)
 		if err != nil {
 			return q, fmt.Errorf("min_ms: %v", err)
+		}
+		if f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+			return q, fmt.Errorf("min_ms: %q (want a finite duration >= 0 in milliseconds)", s)
 		}
 		q.MinMS = f
 	}
@@ -55,6 +64,9 @@ func ParseQuery(v url.Values) (Query, error) {
 		if err != nil {
 			return q, fmt.Errorf("since: %v (want a duration like 10m)", err)
 		}
+		if d < 0 {
+			return q, fmt.Errorf("since: %q (want a duration >= 0)", s)
+		}
 		q.Since = d
 	}
 	if s := v.Get("limit"); s != "" {
@@ -62,7 +74,17 @@ func ParseQuery(v url.Values) (Query, error) {
 		if err != nil {
 			return q, fmt.Errorf("limit: %v", err)
 		}
+		if n == 0 {
+			return q, fmt.Errorf("limit: 0 selects nothing (omit it for the default %d, or use a negative limit for unlimited)", DefaultLimit)
+		}
 		q.Limit = n
+	}
+	if sorts := v["sort"]; len(sorts) > 1 {
+		for _, s := range sorts[1:] {
+			if s != sorts[0] {
+				return q, fmt.Errorf("sort: conflicting values %q and %q (pass sort at most once)", sorts[0], s)
+			}
+		}
 	}
 	switch q.Sort {
 	case "", SortRecent, SortSlowest:

@@ -91,6 +91,50 @@ func CounterSum(n *obs.Node, name string) int64 {
 	return total
 }
 
+// TraceCounters sums every cost counter over the whole span tree,
+// returning name -> total. The workload-profile engine feeds these into
+// its per-counter distributions and cost-model fits; rwdtrace uses the
+// key set to validate `top -by` names.
+func TraceCounters(n *obs.Node) map[string]int64 {
+	if n == nil {
+		return nil
+	}
+	out := map[string]int64{}
+	n.Walk(func(n *obs.Node) {
+		for name, v := range n.Counters {
+			out[name] += v
+		}
+	})
+	return out
+}
+
+// EngineAttr is the span attribute naming the decision engine that did
+// the work (e.g. "antichain" on automata.contains spans).
+const EngineAttr = "engine"
+
+// TraceEngine returns the trace's engine: the first EngineAttr value
+// found in pre-order, or "" (e.g. a cache hit that never ran an engine).
+func TraceEngine(t *Trace) string {
+	if t == nil {
+		return ""
+	}
+	engine := ""
+	t.Root.Walk(func(n *obs.Node) {
+		if engine == "" && n.Attrs[EngineAttr] != "" {
+			engine = n.Attrs[EngineAttr]
+		}
+	})
+	return engine
+}
+
+// End returns the trace's completion instant, Start + DurationMS — the
+// timestamp the workload-profile engine buckets on, so an offline replay
+// of the NDJSON log lands every trace in the same window as the live
+// engine did.
+func (t *Trace) End() time.Time {
+	return t.Start.Add(time.Duration(t.DurationMS * float64(time.Millisecond)))
+}
+
 // Config parameterizes a Ring. The zero value is usable: every field
 // has a documented default.
 type Config struct {

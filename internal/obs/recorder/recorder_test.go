@@ -197,6 +197,47 @@ func TestParseQuery(t *testing.T) {
 	}
 }
 
+// TestParseQueryStrict pins the rejection (not silent coercion) of
+// parameters that cannot mean anything, with a message naming the
+// offending parameter so the 400 body is actionable.
+func TestParseQueryStrict(t *testing.T) {
+	cases := []struct {
+		name    string
+		v       url.Values
+		wantSub string
+	}{
+		{"negative min_ms", url.Values{"min_ms": {"-3"}}, "min_ms"},
+		{"NaN min_ms", url.Values{"min_ms": {"NaN"}}, "min_ms"},
+		{"Inf min_ms", url.Values{"min_ms": {"+Inf"}}, "min_ms"},
+		{"garbage min_ms", url.Values{"min_ms": {"2.5ms"}}, "min_ms"},
+		{"malformed since", url.Values{"since": {"2026-08-07T12:00:00Z"}}, "since"},
+		{"negative since", url.Values{"since": {"-10m"}}, "since"},
+		{"limit zero", url.Values{"limit": {"0"}}, "limit"},
+		{"conflicting sorts", url.Values{"sort": {"recent", "slowest"}}, "sort"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseQuery(tc.v)
+			if err == nil {
+				t.Fatalf("ParseQuery(%v) should fail", tc.v)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not name %q", err, tc.wantSub)
+			}
+		})
+	}
+	// Still-valid shapes that look close to the rejected ones.
+	for _, good := range []url.Values{
+		{"min_ms": {"0"}},
+		{"limit": {"-1"}},                // explicit unlimited
+		{"sort": {"slowest", "slowest"}}, // repeated but agreeing
+	} {
+		if _, err := ParseQuery(good); err != nil {
+			t.Fatalf("ParseQuery(%v) = %v, want ok", good, err)
+		}
+	}
+}
+
 func TestQueryApply(t *testing.T) {
 	now := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
 	ts := []*Trace{ // oldest first

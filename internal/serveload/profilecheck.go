@@ -1,0 +1,116 @@
+package serveload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ProfileTolerance bounds how far a fresh run's workload profile may
+// drift from the committed baseline before `rwdbench -profile-check`
+// fails. The defaults are deliberately generous: the gate exists to
+// catch shape changes — an op an order of magnitude slower, an error
+// rate jumping from zero to everything — not scheduler noise between
+// two CI machines.
+type ProfileTolerance struct {
+	// Factor bounds the p50 and p99 ratio in both directions: a row
+	// regresses when fresh/baseline or baseline/fresh exceeds it.
+	// (A large speedup is flagged too: it usually means the op stopped
+	// doing its work.) <= 1 means 10.
+	Factor float64
+	// MinRequests skips rows with fewer requests than this on either
+	// side; tiny samples make quantiles meaningless. <= 0 means 50.
+	MinRequests uint64
+	// RateDelta bounds the absolute error-rate and timeout-rate drift.
+	// <= 0 means 0.25.
+	RateDelta float64
+}
+
+func (t ProfileTolerance) withDefaults() ProfileTolerance {
+	if t.Factor <= 1 {
+		t.Factor = 10
+	}
+	if t.MinRequests <= 0 {
+		t.MinRequests = 50
+	}
+	if t.RateDelta <= 0 {
+		t.RateDelta = 0.25
+	}
+	return t
+}
+
+// CompareProfiles checks a fresh report's profile block against a
+// committed baseline and returns one human-readable line per
+// regression (empty means the gate passes). Only rows that are
+// well-sampled in the baseline are compared; a well-sampled baseline
+// row that vanished entirely from the fresh run is itself a
+// regression (the workload no longer reaches that op/engine).
+func CompareProfiles(baseline, fresh *Report, tol ProfileTolerance) []string {
+	tol = tol.withDefaults()
+	if baseline == nil || len(baseline.Profile) == 0 {
+		return nil // nothing to gate against
+	}
+	keys := make([]string, 0, len(baseline.Profile))
+	for k := range baseline.Profile {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var regressions []string
+	for _, k := range keys {
+		b := baseline.Profile[k]
+		if b.Requests < tol.MinRequests {
+			continue
+		}
+		f := fresh.Profile[k]
+		if f == nil {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: present in baseline (%d requests) but absent from this run", k, b.Requests))
+			continue
+		}
+		if f.Requests < tol.MinRequests {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: undersampled in this run (%d requests, want >= %d; baseline had %d)",
+					k, f.Requests, tol.MinRequests, b.Requests))
+			continue
+		}
+		for _, q := range []struct {
+			name     string
+			base, fr float64
+		}{
+			{"p50_ms", b.P50MS, f.P50MS},
+			{"p99_ms", b.P99MS, f.P99MS},
+		} {
+			if bad, ratio := ratioExceeds(q.base, q.fr, tol.Factor); bad {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %s %.3f vs baseline %.3f (%.1fx, tolerance %.1fx)",
+						k, q.name, q.fr, q.base, ratio, tol.Factor))
+			}
+		}
+		if d := f.ErrorRate - b.ErrorRate; d > tol.RateDelta {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: error rate %.2f vs baseline %.2f (drift %.2f > %.2f)",
+					k, f.ErrorRate, b.ErrorRate, d, tol.RateDelta))
+		}
+		if d := f.TimeoutRate - b.TimeoutRate; d > tol.RateDelta {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: timeout rate %.2f vs baseline %.2f (drift %.2f > %.2f)",
+					k, f.TimeoutRate, b.TimeoutRate, d, tol.RateDelta))
+		}
+	}
+	return regressions
+}
+
+// ratioExceeds reports whether a/b or b/a exceeds factor, and the
+// offending ratio. Sub-resolution quantiles (either side below 1ms,
+// common for cache hits) are never flagged: at that scale the ratio
+// measures timer granularity, not the server.
+func ratioExceeds(a, b, factor float64) (bool, float64) {
+	if a < 1 || b < 1 {
+		return false, 0
+	}
+	ratio := b / a
+	if ratio < 1 {
+		ratio = 1 / ratio
+	}
+	return ratio > factor, ratio
+}

@@ -1,0 +1,122 @@
+package serveload
+
+import (
+	"strings"
+	"testing"
+)
+
+func profileReport(rows map[string]*OpProfileSummary) *Report {
+	return &Report{SchemaVersion: 1, Profile: rows}
+}
+
+func row(requests uint64, p50, p99, errRate, toRate float64) *OpProfileSummary {
+	return &OpProfileSummary{
+		Requests: requests, P50MS: p50, P99MS: p99,
+		ErrorRate: errRate, TimeoutRate: toRate,
+	}
+}
+
+func TestCompareProfilesPasses(t *testing.T) {
+	base := profileReport(map[string]*OpProfileSummary{
+		"containment|antichain": row(500, 2, 20, 0.01, 0),
+		"analyze|analyzer":      row(200, 5, 40, 0, 0),
+	})
+	// Within-tolerance drift: 3x slower p99, slightly higher error rate.
+	fresh := profileReport(map[string]*OpProfileSummary{
+		"containment|antichain": row(450, 4, 60, 0.05, 0.01),
+		"analyze|analyzer":      row(180, 3, 25, 0, 0),
+	})
+	if regs := CompareProfiles(base, fresh, ProfileTolerance{}); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+}
+
+func TestCompareProfilesFlagsLatencyBlowup(t *testing.T) {
+	base := profileReport(map[string]*OpProfileSummary{
+		"containment|antichain": row(500, 2, 20, 0, 0),
+	})
+	fresh := profileReport(map[string]*OpProfileSummary{
+		"containment|antichain": row(500, 50, 21, 0, 0), // p50: 25x
+	})
+	regs := CompareProfiles(base, fresh, ProfileTolerance{})
+	if len(regs) != 1 || !strings.Contains(regs[0], "p50_ms") {
+		t.Fatalf("want one p50 regression, got %v", regs)
+	}
+	// A matching large speedup is flagged too: the op stopped working.
+	fresh = profileReport(map[string]*OpProfileSummary{
+		"containment|antichain": row(500, 2, 1.5, 0, 0), // p99 collapsed 13x
+	})
+	regs = CompareProfiles(base, fresh, ProfileTolerance{})
+	if len(regs) != 1 || !strings.Contains(regs[0], "p99_ms") {
+		t.Fatalf("want one p99 regression, got %v", regs)
+	}
+}
+
+func TestCompareProfilesFlagsRateDrift(t *testing.T) {
+	base := profileReport(map[string]*OpProfileSummary{
+		"containment|antichain": row(500, 2, 20, 0, 0.05),
+	})
+	fresh := profileReport(map[string]*OpProfileSummary{
+		"containment|antichain": row(500, 2, 20, 0.5, 0.45),
+	})
+	regs := CompareProfiles(base, fresh, ProfileTolerance{})
+	if len(regs) != 2 {
+		t.Fatalf("want error-rate and timeout-rate regressions, got %v", regs)
+	}
+	joined := strings.Join(regs, "\n")
+	for _, want := range []string{"error rate", "timeout rate"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("regressions %v do not mention %q", regs, want)
+		}
+	}
+	// Error rates going down is an improvement, never a regression.
+	if regs := CompareProfiles(fresh, base, ProfileTolerance{}); len(regs) != 0 {
+		t.Fatalf("improvement flagged: %v", regs)
+	}
+}
+
+func TestCompareProfilesSkipsNoise(t *testing.T) {
+	base := profileReport(map[string]*OpProfileSummary{
+		// Undersampled row: quantiles are meaningless at 5 requests.
+		"infer|inferencer": row(5, 1, 2, 0, 0),
+		// Sub-millisecond row (cache hits): ratio measures timer
+		// granularity, not the server.
+		"containment|-": row(500, 0.02, 0.9, 0, 0),
+	})
+	fresh := profileReport(map[string]*OpProfileSummary{
+		"infer|inferencer": row(5, 100, 200, 1, 1),
+		"containment|-":    row(500, 0.9, 0.04, 0, 0),
+	})
+	if regs := CompareProfiles(base, fresh, ProfileTolerance{}); len(regs) != 0 {
+		t.Fatalf("noise flagged: %v", regs)
+	}
+}
+
+func TestCompareProfilesFlagsVanishedOp(t *testing.T) {
+	base := profileReport(map[string]*OpProfileSummary{
+		"containment|antichain": row(500, 2, 20, 0, 0),
+	})
+	regs := CompareProfiles(base, profileReport(nil), ProfileTolerance{})
+	if len(regs) != 1 || !strings.Contains(regs[0], "absent") {
+		t.Fatalf("want vanished-op regression, got %v", regs)
+	}
+	// Undersampled on the fresh side only is flagged as such.
+	fresh := profileReport(map[string]*OpProfileSummary{
+		"containment|antichain": row(3, 2, 20, 0, 0),
+	})
+	regs = CompareProfiles(base, fresh, ProfileTolerance{})
+	if len(regs) != 1 || !strings.Contains(regs[0], "undersampled") {
+		t.Fatalf("want undersampled regression, got %v", regs)
+	}
+}
+
+func TestCompareProfilesNoBaselineBlock(t *testing.T) {
+	// Baselines from before the profile engine have no profile block;
+	// the gate has nothing to compare and must pass, not crash.
+	if regs := CompareProfiles(profileReport(nil), profileReport(nil), ProfileTolerance{}); regs != nil {
+		t.Fatalf("want nil, got %v", regs)
+	}
+	if regs := CompareProfiles(nil, profileReport(nil), ProfileTolerance{}); regs != nil {
+		t.Fatalf("want nil, got %v", regs)
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/automata"
 	"repro/internal/metrics"
+	"repro/internal/obs/profile"
 )
 
 // Config parameterizes a load run. The zero value is not usable: BaseURL
@@ -292,6 +293,49 @@ type Report struct {
 	// "span/counter" — the algorithmic work (states expanded, queries
 	// ingested, …) the run induced server-side.
 	SpanCost map[string]float64 `json:"span_cost"`
+
+	// Profile is the server's workload-profile view of the run, scraped
+	// from GET /v1/stats?window=lifetime after the load stops: one row
+	// per (op, engine), keyed "op|engine" with "-" for profiles where no
+	// engine ran (cache hits, rejected requests). Unlike the delta
+	// counters above this is the server's lifetime view — identical to
+	// the run's own profile for the in-process server rwdbench starts,
+	// approximate on a shared long-running one. Absent (nil) when the
+	// server predates /v1/stats.
+	Profile map[string]*OpProfileSummary `json:"profile,omitempty"`
+}
+
+// OpProfileSummary is one (op, engine) row of the report's profile
+// block — the server-side durations (the client-side Endpoints rows
+// include network and queueing) plus the fitted cost model when the op
+// accumulated one.
+type OpProfileSummary struct {
+	Requests    uint64        `json:"requests"`
+	Errors      uint64        `json:"errors"`
+	Timeouts    uint64        `json:"timeouts"`
+	ErrorRate   float64       `json:"error_rate"`
+	TimeoutRate float64       `json:"timeout_rate"`
+	P50MS       float64       `json:"p50_ms"`
+	P99MS       float64       `json:"p99_ms"`
+	Model       *ProfileModel `json:"model,omitempty"`
+}
+
+// ProfileModel mirrors the op's fitted duration-vs-cost-counter model.
+type ProfileModel struct {
+	Counter       string  `json:"counter"`
+	Samples       int64   `json:"samples"`
+	SlopeMS       float64 `json:"slope_ms_per_unit"`
+	InterceptMS   float64 `json:"intercept_ms"`
+	R2            float64 `json:"r2"`
+	ResidualStdMS float64 `json:"residual_std_ms"`
+}
+
+// ProfileKey renders the "op|engine" key of Report.Profile.
+func ProfileKey(op, engine string) string {
+	if engine == "" {
+		engine = "-"
+	}
+	return op + "|" + engine
 }
 
 type sample struct {
@@ -343,7 +387,57 @@ func Run(cfg Config) (*Report, error) {
 	for _, s := range perWorker {
 		all = append(all, s...)
 	}
-	return buildReport(cfg, elapsed, all, before, after), nil
+	rep := buildReport(cfg, elapsed, all, before, after)
+	rep.Profile = scrapeProfile(cfg.Client, cfg.BaseURL)
+	return rep, nil
+}
+
+// scrapeProfile reads the server's workload-profile snapshot into the
+// report's profile block. Best-effort: a server without /v1/stats (or a
+// failed read) yields nil rather than failing the whole run.
+func scrapeProfile(client *http.Client, base string) map[string]*OpProfileSummary {
+	resp, err := client.Get(base + "/v1/stats?window=" + profile.WindowLifetime)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var snap profile.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil
+	}
+	out := map[string]*OpProfileSummary{}
+	models := map[string]*ProfileModel{}
+	for _, m := range snap.Models {
+		models[m.Op] = &ProfileModel{
+			Counter:       m.Counter,
+			Samples:       m.Samples,
+			SlopeMS:       m.SlopeMS,
+			InterceptMS:   m.InterceptMS,
+			R2:            m.R2,
+			ResidualStdMS: m.ResidualStdMS,
+		}
+	}
+	for _, row := range snap.Lifetime {
+		out[ProfileKey(row.Op, row.Engine)] = &OpProfileSummary{
+			Requests:    row.Requests,
+			Errors:      row.Errors,
+			Timeouts:    row.Timeouts,
+			ErrorRate:   row.ErrorRate,
+			TimeoutRate: row.TimeoutRate,
+			P50MS:       row.DurationMS.P50,
+			P99MS:       row.DurationMS.P99,
+			// The model is fitted per op (over its dominant cost
+			// counter), so every row of the op carries the same one.
+			Model: models[row.Op],
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // issue sends one request and records the client-observed outcome.

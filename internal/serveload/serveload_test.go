@@ -121,4 +121,20 @@ func TestRunAgainstService(t *testing.T) {
 	if rep.Cache.Hits+rep.Cache.Misses == 0 {
 		t.Fatal("cache counters never scraped")
 	}
+
+	// The profile block mirrors the server's /v1/stats lifetime view;
+	// for the private in-process server it covers exactly this run.
+	if len(rep.Profile) == 0 {
+		t.Fatal("profile block never scraped")
+	}
+	var profiled uint64
+	for key, row := range rep.Profile {
+		profiled += row.Requests
+		if row.P99MS < row.P50MS {
+			t.Errorf("%s: p99 %.3f < p50 %.3f", key, row.P99MS, row.P50MS)
+		}
+	}
+	if profiled != uint64(rep.Requests) {
+		t.Fatalf("profile rows cover %d requests, client sent %d", profiled, rep.Requests)
+	}
 }

@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -36,6 +37,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/obs/profile"
 	"repro/internal/obs/recorder"
 	"repro/internal/store"
 )
@@ -76,6 +78,10 @@ type Config struct {
 	// TraceLog, when non-nil, persists every recorded trace to the
 	// on-disk NDJSON trace log (rwdserve -trace-dir).
 	TraceLog *recorder.Log
+	// ProfileWindow is the sliding-window span of the workload-profile
+	// engine behind GET /v1/stats (always on, like the recorder's ring);
+	// <= 0 means 60s. The window is split into 10 ring buckets.
+	ProfileWindow time.Duration
 	// Logger receives structured access and error logs; nil means stderr.
 	Logger *log.Logger
 }
@@ -105,6 +111,9 @@ func (c Config) withDefaults() Config {
 	if c.SlowOpThreshold <= 0 {
 		c.SlowOpThreshold = 500 * time.Millisecond
 	}
+	if c.ProfileWindow <= 0 {
+		c.ProfileWindow = time.Minute
+	}
 	if c.Logger == nil {
 		c.Logger = log.New(os.Stderr, "rwdserve ", log.LstdFlags|log.Lmicroseconds)
 	}
@@ -124,6 +133,13 @@ type Server struct {
 	// flight is the always-on trace flight recorder behind GET
 	// /v1/traces; nil when Config.TraceCapacity < 0.
 	flight *recorder.Ring
+	// profile is the always-on workload-profile engine behind GET
+	// /v1/stats: windowed per-(op, engine, status) statistics, quantile
+	// sketches, fitted cost models, and anomaly scoring over the same
+	// finished-trace feed the recorder consumes.
+	profile *profile.Engine
+	// started anchors the uptime reported by /healthz.
+	started time.Time
 	// store is the optional persistent corpus store (AttachStore); nil
 	// means the corpus endpoints answer 503.
 	store *store.Store
@@ -135,6 +151,7 @@ type Server struct {
 	clientClosed *metrics.CounterVec   // endpoint
 	spanSecs     *metrics.HistogramVec // span
 	spanCost     *metrics.CounterVec   // span, counter
+	opDur        *metrics.HistogramVec // op, status: rwd_op_duration_seconds
 
 	storeFlushSecs   *metrics.Histogram // store.flush span durations
 	storeCompactions *metrics.Counter   // store.compact spans finished
@@ -148,12 +165,13 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		log:   cfg.Logger,
-		mux:   http.NewServeMux(),
-		reg:   metrics.NewRegistry(),
-		cache: cache.New(cfg.CacheSize),
-		sem:   make(chan struct{}, cfg.MaxInFlight),
+		cfg:     cfg,
+		log:     cfg.Logger,
+		mux:     http.NewServeMux(),
+		reg:     metrics.NewRegistry(),
+		cache:   cache.New(cfg.CacheSize),
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		started: time.Now(),
 	}
 	s.reqTotal = s.reg.CounterVec("rwdserve_requests_total",
 		"Requests served, by endpoint and HTTP status code.", "endpoint", "code")
@@ -209,6 +227,18 @@ func New(cfg Config) *Server {
 			Log:      cfg.TraceLog,
 		})
 	}
+	// The workload-profile engine aggregates the same finished-trace
+	// feed into windowed per-op statistics, quantile sketches, and
+	// fitted cost models (GET /v1/stats). Always on, like the recorder.
+	s.profile = profile.New(profile.Config{
+		BucketWidth:   cfg.ProfileWindow / 10,
+		WindowBuckets: 10,
+	})
+	// rwd_op_duration_seconds mirrors the profile engine's per-op view
+	// onto /metrics as conventional histogram series.
+	s.opDur = s.reg.HistogramVec("rwd_op_duration_seconds",
+		"Finished-request durations in seconds, by trace op and HTTP status.",
+		metrics.DefBuckets, "op", "status")
 	s.tracer = &obs.Tracer{
 		OnFinish: func(sp *obs.Span) {
 			s.spanSecs.With(sp.Name()).Observe(sp.Duration().Seconds())
@@ -223,8 +253,19 @@ func New(cfg Config) *Server {
 			case "store.compact":
 				s.storeCompactions.Inc()
 			}
-			if sp.Parent() == nil && !strings.HasPrefix(sp.Name(), "http.trace") {
-				s.flight.Record(recorder.FromSpan(sp))
+			// Diagnostic reads (/v1/traces*, /v1/stats) are excluded so
+			// observing the observability surfaces never pollutes them.
+			if sp.Parent() == nil && !strings.HasPrefix(sp.Name(), "http.trace") &&
+				sp.Name() != "http.stats" {
+				if tr := recorder.FromSpan(sp); tr != nil {
+					s.flight.Record(tr)
+					s.profile.Observe(tr)
+					status := tr.Status
+					if status == "" {
+						status = "unknown"
+					}
+					s.opDur.With(tr.Op, status).Observe(sp.Duration().Seconds())
+				}
 			}
 		},
 		Slow: &obs.SlowLog{
@@ -250,6 +291,12 @@ func New(cfg Config) *Server {
 			"Exported-tree JSON bytes currently retained by the flight recorder.",
 			func() float64 { return float64(s.flight.Stats().Bytes) })
 	}
+	s.reg.GaugeFunc("rwd_profile_observed_total",
+		"Finished traces folded into the workload-profile engine.",
+		func() float64 { return float64(s.profile.Observed()) })
+	s.reg.GaugeFunc("rwd_profile_anomalies_total",
+		"Traces flagged by the profile engine's cost-model residual scoring.",
+		func() float64 { return float64(s.profile.AnomalyCount()) })
 	s.reg.GaugeFunc("rwd_slow_ops_seen_total",
 		"Spans that exceeded the slow-op threshold.",
 		func() float64 { return float64(s.tracer.Slow.Seen()) })
@@ -295,6 +342,7 @@ func New(cfg Config) *Server {
 	// server, so it must answer while the server is saturated.
 	s.mux.Handle("GET /v1/traces", s.traceEndpoint("traces", s.handleTracesQuery))
 	s.mux.Handle("GET /v1/traces/{id}", s.traceEndpoint("trace_get", s.handleTraceGet))
+	s.mux.Handle("GET /v1/stats", s.traceEndpoint("stats", s.handleStats))
 	// healthz and metrics bypass admission control: they must answer even
 	// (especially) when the server is saturated.
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -317,11 +365,66 @@ func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 // recorder is disabled).
 func (s *Server) FlightStats() recorder.Stats { return s.flight.Stats() }
 
+// Profile exposes the workload-profile engine (for tests and embedders).
+func (s *Server) Profile() *profile.Engine { return s.profile }
+
 // CacheStats exposes the verdict-cache counters (for tests and embedders).
 func (s *Server) CacheStats() cache.Stats { return s.cache.Stats() }
 
+// healthzResponse is the JSON body of GET /healthz: liveness plus just
+// enough build and subsystem state to orient an operator (or a smoke
+// test) without scraping /metrics. GET /healthz?format=text keeps the
+// plain "ok" contract for load balancers that match on the body.
+type healthzResponse struct {
+	Status        string  `json:"status"`
+	GoVersion     string  `json:"go_version"`
+	Revision      string  `json:"revision,omitempty"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Recorder      struct {
+		Enabled  bool  `json:"enabled"`
+		Retained int64 `json:"retained"`
+	} `json:"recorder"`
+	Profile struct {
+		Observed  int64 `json:"observed"`
+		Anomalies int64 `json:"anomalies"`
+	} `json:"profile"`
+	StoreAttached bool `json:"store_attached"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+		return
+	}
+	resp := healthzResponse{
+		Status:        "ok",
+		GoVersion:     runtime.Version(),
+		Revision:      buildRevision(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		StoreAttached: s.store != nil,
+	}
+	resp.Recorder.Enabled = s.flight != nil
+	resp.Recorder.Retained = s.flight.Stats().Retained
+	resp.Profile.Observed = s.profile.Observed()
+	resp.Profile.Anomalies = s.profile.AnomalyCount()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// buildRevision returns the VCS revision baked into the binary by the
+// Go toolchain, "" when built outside a checkout (e.g. go test).
+func buildRevision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, kv := range info.Settings {
+		if kv.Key == "vcs.revision" {
+			return kv.Value
+		}
+	}
+	return ""
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

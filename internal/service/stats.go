@@ -1,0 +1,40 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"repro/internal/obs/profile"
+)
+
+// GET /v1/stats: the workload-profile engine's JSON snapshot — windowed
+// and lifetime per-(op, engine) statistics, duration and cost-counter
+// quantiles, exemplar trace ids per quantile band (resolvable via
+// /v1/traces/{id}), fitted cost models, and flagged anomalies.
+//
+// Parameters:
+//
+//	window = live | lifetime | all (default all)
+//	op     = exact trace op ("containment", "analyze", ...)
+//	engine = engine label; "-" selects profiles where no engine ran
+//
+// Like /v1/traces it bypasses the admission gate: the profile exists to
+// diagnose a saturated server. Its own root spans (http.stats) are
+// excluded from the trace feed, so reading the stats never shifts them.
+func (s *Server) handleStats(ctx context.Context, w http.ResponseWriter, r *http.Request) *apiError {
+	q := r.URL.Query()
+	window := q.Get("window")
+	switch window {
+	case "", profile.WindowLive, profile.WindowLifetime, profile.WindowAll:
+	default:
+		return errBadRequest("window: %q (want %s, %s, or %s)",
+			window, profile.WindowLive, profile.WindowLifetime, profile.WindowAll)
+	}
+	snap := s.profile.Snapshot(time.Now(), window, profile.Filter{
+		Op:     q.Get("op"),
+		Engine: q.Get("engine"),
+	})
+	writeJSON(w, http.StatusOK, snap)
+	return nil
+}
